@@ -1,0 +1,101 @@
+// E1 + E8 — Theorem 4.15 end to end: the measured approximation ratio
+// of the nested LP-rounding algorithm against the exact optimum and
+// against its own LP lower bound, per instance family.
+//
+// Paper claim: active <= (9/5) * OPT, via x~([m]) <= (9/5) x([m])
+// (Lemma 3.3) and feasibility of the rounding (Theorem 4.5). The
+// harness asserts the hard 1.8 bound on every instance and reports the
+// observed averages (typically far below the bound).
+#include <iostream>
+#include <mutex>
+
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "bench/common.hpp"
+#include "io/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nat;
+
+namespace {
+
+struct FamilyRow {
+  std::string name;
+  at::Instance (*make)(int, std::int64_t);
+  std::int64_t g;
+  int instances;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<FamilyRow> families = {
+      {"loose laminar (g=3)", bench::loose_instance, 3, 60},
+      {"loose laminar (g=6)", bench::loose_instance, 6, 60},
+      {"contended (g=4)", bench::contended_instance, 4, 60},
+      {"contended (g=8)", bench::contended_instance, 8, 60},
+      {"unit jobs (g=3, E8)", bench::unit_instance, 3, 60},
+      {"staircase (g=3)",
+       +[](int id, std::int64_t g) {
+         return at::gen::staircase(g, 3 + id % 5, 1 + id % 3);
+       },
+       3, 40},
+      {"binary nest (g=4)",
+       +[](int id, std::int64_t g) {
+         return at::gen::binary_nest(g, 1 + id % 3);
+       },
+       4, 30},
+  };
+
+  std::cout << "# E1/E8 — approximation ratio of the 9/5 algorithm\n\n"
+            << "Hard guarantee asserted per instance: ratio <= 1.8.\n\n";
+  io::Table table({"family", "instances", "avg vs OPT", "max vs OPT",
+                   "avg vs LP", "max vs LP", "opt hits", "violations"});
+
+  for (const FamilyRow& family : families) {
+    bench::RatioStats vs_opt, vs_lp;
+    int opt_hits = 0;
+    int violations = 0;
+    std::mutex mu;
+    util::parallel_for(0, static_cast<std::size_t>(family.instances),
+                       [&](std::size_t id) {
+      const at::Instance inst =
+          family.make(static_cast<int>(id), family.g);
+      at::NestedSolveResult r = at::solve_nested(inst);
+      auto opt = at::baselines::exact_opt_laminar(inst);
+      std::lock_guard lk(mu);
+      if (r.repairs != 0) ++violations;
+      vs_lp.add(static_cast<double>(r.active_slots) / r.lp_value);
+      if (opt.has_value()) {
+        const double ratio = static_cast<double>(r.active_slots) /
+                             static_cast<double>(opt->optimum);
+        vs_opt.add(ratio);
+        if (r.active_slots == opt->optimum) ++opt_hits;
+        if (ratio > 1.8 + 1e-9) ++violations;
+      }
+    });
+    table.add_row({family.name,
+                   io::Table::num(static_cast<std::int64_t>(family.instances)),
+                   io::Table::num(vs_opt.avg()), io::Table::num(vs_opt.max),
+                   io::Table::num(vs_lp.avg()), io::Table::num(vs_lp.max),
+                   io::Table::num(static_cast<std::int64_t>(opt_hits)),
+                   io::Table::num(static_cast<std::int64_t>(violations))});
+  }
+  table.print_markdown(std::cout);
+
+  std::cout << "\n# Lemma 5.1 family (worst known for the LP bound)\n\n";
+  io::Table gap({"g", "active", "OPT", "LP", "ratio vs OPT",
+                 "9/5 bound holds"});
+  for (std::int64_t g = 2; g <= 10; ++g) {
+    const at::Instance inst = at::gen::lemma51_gap(g);
+    at::NestedSolveResult r = at::solve_nested(inst);
+    const std::int64_t opt = g + (g + 1) / 2;
+    gap.add_row({io::Table::num(g), io::Table::num(r.active_slots),
+                 io::Table::num(opt), io::Table::num(r.lp_value, 2),
+                 io::Table::ratio(static_cast<double>(r.active_slots),
+                                  static_cast<double>(opt)),
+                 r.active_slots <= 1.8 * opt ? "yes" : "NO"});
+  }
+  gap.print_markdown(std::cout);
+  return 0;
+}

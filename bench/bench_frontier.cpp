@@ -1,0 +1,89 @@
+// E9 (tightness exploration) — how close does the pipeline get to its
+// own 9/5 certificate, and where?
+//
+// Two searches:
+//   * the LP-certified ratio active/LP over a large randomized pool
+//     (its supremum is the algorithm's *observable* tightness; the
+//     strengthened LP's >= 3/2 integrality gap on nested instances
+//     means ratios above 1.5 are expected to appear);
+//   * the true ratio active/OPT (bounded by 9/5 per Theorem 4.15).
+// The harness reports the frontier instances it found, so worst cases
+// are reproducible by seed.
+#include <iostream>
+#include <mutex>
+
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "bench/common.hpp"
+#include "instances/generators.hpp"
+#include "io/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nat;
+
+int main() {
+  struct Worst {
+    double ratio = 0.0;
+    int id = -1;
+    std::int64_t g = 0;
+  };
+  Worst worst_lp, worst_opt;
+  std::int64_t histogram[6] = {0, 0, 0, 0, 0, 0};  // [1.0,1.1), ... [1.5,1.8]
+  std::mutex mu;
+
+  const int kPool = 600;
+  util::parallel_for(0, kPool, [&](std::size_t id) {
+    util::Rng knobs(7700 + id);
+    const std::int64_t g = knobs.uniform_int(2, 10);
+    const at::Instance inst =
+        bench::contended_instance(static_cast<int>(id), g);
+    at::NestedSolveResult r = at::solve_nested(inst);
+    const double vs_lp = static_cast<double>(r.active_slots) / r.lp_value;
+    auto opt = at::baselines::exact_opt_laminar(
+        inst, at::baselines::ExactOptions{1'000'000});
+    std::lock_guard lk(mu);
+    if (vs_lp > worst_lp.ratio) worst_lp = {vs_lp, static_cast<int>(id), g};
+    int bucket = static_cast<int>((vs_lp - 1.0) * 10.0);
+    histogram[std::min(bucket, 5)]++;
+    if (opt.has_value()) {
+      const double vs_opt = static_cast<double>(r.active_slots) /
+                            static_cast<double>(opt->optimum);
+      if (vs_opt > worst_opt.ratio) {
+        worst_opt = {vs_opt, static_cast<int>(id), g};
+      }
+    }
+  });
+
+  std::cout << "# E9 — tightness frontier (600 contended instances, "
+               "g in [2,10])\n\n";
+  io::Table hist({"certified ratio bucket", "instances"});
+  const char* labels[6] = {"[1.0, 1.1)", "[1.1, 1.2)", "[1.2, 1.3)",
+                           "[1.3, 1.4)", "[1.4, 1.5)", "[1.5, 1.8]"};
+  for (int b = 0; b < 6; ++b) {
+    hist.add_row({labels[b], io::Table::num(histogram[b])});
+  }
+  hist.print_markdown(std::cout);
+  std::cout << "\nworst active/LP  = " << io::Table::num(worst_lp.ratio)
+            << "  (seed id " << worst_lp.id << ", g=" << worst_lp.g
+            << "; certificate bound 1.8)\n";
+  std::cout << "worst active/OPT = " << io::Table::num(worst_opt.ratio)
+            << "  (seed id " << worst_opt.id << ", g=" << worst_opt.g
+            << "; Theorem 4.15 bound 1.8)\n";
+
+  // The Lemma 5.1 family pushes the certified ratio hardest as g grows.
+  std::cout << "\n# certified ratio on the Lemma 5.1 family\n\n";
+  io::Table gap({"g", "active", "LP", "active/LP"});
+  for (std::int64_t g : {4, 8, 12, 16, 20}) {
+    const at::Instance inst = at::gen::lemma51_gap(g);
+    at::NestedSolveResult r = at::solve_nested(inst);
+    gap.add_row({io::Table::num(g), io::Table::num(r.active_slots),
+                 io::Table::num(r.lp_value, 2),
+                 io::Table::ratio(static_cast<double>(r.active_slots),
+                                  r.lp_value)});
+  }
+  gap.print_markdown(std::cout);
+  const bool ok = worst_lp.ratio <= 1.8 + 1e-9 && worst_opt.ratio <= 1.8 + 1e-9;
+  std::cout << (ok ? "\nno instance crossed the 9/5 line.\n"
+                   : "\nBOUND VIOLATED!\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench prints markdown tables with the paper's expected value
+// next to the measured one; EXPERIMENTS.md is assembled from this
+// output. All sweeps are seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "instances/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nat::bench {
+
+/// Loose random laminar instance (mostly integral LPs).
+inline at::Instance loose_instance(int id, std::int64_t g) {
+  at::gen::RandomLaminarParams params;
+  util::Rng knobs(9000 + id);
+  params.g = g;
+  params.max_depth = 3;
+  params.max_children = 3;
+  params.max_jobs_per_node = 3;
+  params.max_processing = 4;
+  util::Rng rng(100 + id);
+  return at::gen::random_laminar(params, rng);
+}
+
+/// Contended instance (fractional LPs; the interesting regime).
+inline at::Instance contended_instance(int id, std::int64_t g) {
+  at::gen::ContendedParams params;
+  params.g = g;
+  params.min_groups = 2;
+  params.max_groups = 6;
+  util::Rng knobs(5000 + id);
+  params.unit_slack = knobs.uniform_int(0, 2);
+  params.max_long_jobs = static_cast<int>(knobs.uniform_int(1, 3));
+  util::Rng rng(300 + id);
+  return at::gen::random_contended(params, rng);
+}
+
+/// Unit-processing instance (the poly-solvable case of [2]).
+inline at::Instance unit_instance(int id, std::int64_t g) {
+  at::gen::RandomLaminarParams params;
+  params.g = g;
+  params.max_depth = 3;
+  params.max_children = 3;
+  params.max_jobs_per_node = 4;
+  util::Rng rng(200 + id);
+  return at::gen::random_laminar_unit(params, rng);
+}
+
+struct RatioStats {
+  double sum = 0.0;
+  double max = 0.0;
+  int count = 0;
+
+  void add(double r) {
+    sum += r;
+    if (r > max) max = r;
+    ++count;
+  }
+  double avg() const { return count ? sum / count : 0.0; }
+};
+
+}  // namespace nat::bench

@@ -1,0 +1,73 @@
+// Datacenter batch window: the energy-minimization story from the
+// paper's introduction, on a synthetic but realistically shaped
+// workload.
+//
+// A rack can co-run g batch jobs per 15-minute slot, and burns the same
+// power whether it runs 1 job or g. Jobs arrive in nested maintenance
+// windows: the nightly window contains per-team sub-windows, which
+// contain per-service deadlines — laminar by construction of the
+// maintenance calendar. Active slots = slots the rack must be powered.
+//
+//   $ ./examples/datacenter_batch [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "activetime/solver.hpp"
+#include "baselines/greedy.hpp"
+#include "instances/generators.hpp"
+#include "io/table.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  // Nightly window split into team sub-windows with service deadlines.
+  at::gen::RandomLaminarParams params;
+  params.g = 6;                  // rack co-runs 6 batch jobs per slot
+  params.max_depth = 3;          // night > team > service nesting
+  params.max_children = 4;
+  params.min_jobs_per_node = 2;
+  params.max_jobs_per_node = 6;
+  params.max_processing = 5;     // up to 5 slots (75 min) per job
+  params.child_probability = 0.9;
+  params.gap_length = 3;
+  params.fill = 0.85;            // nights are busy
+  // Draw until the calendar is a busy night (the generator's recursion
+  // can come up shallow for unlucky seeds).
+  at::Instance night;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    util::Rng rng(seed + 1000 * attempt);
+    night = at::gen::random_laminar(params, rng);
+    if (night.num_jobs() >= 25) break;
+  }
+
+  std::cout << "Nightly batch workload: " << at::summary(night) << "\n\n";
+
+  const at::Time horizon = night.horizon().length();
+  at::NestedSolveResult lp_round = at::solve_nested(night);
+  auto greedy = at::baselines::greedy_minimal_feasible(
+      night, at::baselines::DeactivationOrder::kRightToLeft);
+
+  io::Table table({"policy", "powered slots", "% of horizon"});
+  auto pct = [&](std::int64_t slots) {
+    return io::Table::num(100.0 * static_cast<double>(slots) /
+                              static_cast<double>(horizon),
+                          1) +
+           "%";
+  };
+  table.add_row({"always-on", io::Table::num(horizon), pct(horizon)});
+  table.add_row({"greedy deactivation (2018 baseline)",
+                 io::Table::num(greedy.active_slots),
+                 pct(greedy.active_slots)});
+  table.add_row({"nested LP rounding (this paper)",
+                 io::Table::num(lp_round.active_slots),
+                 pct(lp_round.active_slots)});
+  table.add_row({"LP lower bound", io::Table::num(lp_round.lp_value, 2),
+                 pct(static_cast<std::int64_t>(lp_round.lp_value + 0.999))});
+  table.print_markdown(std::cout);
+
+  std::cout << "\nEvery policy meets every deadline; the difference is "
+               "pure energy.\n";
+  return 0;
+}

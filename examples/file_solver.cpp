@@ -1,0 +1,63 @@
+// Command-line solver for instances in the text format of
+// io/serialize.hpp. Reads stdin (or a file), writes the schedule.
+//
+//   $ ./examples/file_solver < instance.txt
+//   $ ./examples/file_solver instance.txt --greedy
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "activetime/solver.hpp"
+#include "baselines/greedy.hpp"
+#include "io/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nat;
+  std::string path;
+  bool use_greedy = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--greedy") {
+      use_greedy = true;
+    } else {
+      path = arg;
+    }
+  }
+
+  at::Instance instance;
+  try {
+    if (path.empty()) {
+      instance = io::read_instance(std::cin);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open " << path << '\n';
+        return 1;
+      }
+      instance = io::read_instance(in);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad instance: " << e.what() << '\n';
+    return 1;
+  }
+
+  std::cout << at::summary(instance) << '\n';
+  try {
+    if (use_greedy || !instance.is_laminar()) {
+      if (!instance.is_laminar()) {
+        std::cout << "windows are not nested; using the greedy "
+                     "3-approximation (works on any instance)\n";
+      }
+      auto r = at::baselines::greedy_minimal_feasible(instance);
+      io::write_schedule(std::cout, instance, r.schedule);
+    } else {
+      at::NestedSolveResult r = at::solve_nested(instance);
+      std::cout << "LP lower bound: " << r.lp_value << '\n';
+      io::write_schedule(std::cout, instance, r.schedule);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "solve failed: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Instance-file generator: writes the library's instance families in
+// the text format that file_solver reads.
+//
+//   $ ./examples/generate_instances <family> [out.txt] [seed]
+//     family ∈ { random | contended | unit | overload | lemma51 }
+//
+// Without arguments, prints one instance of each family to stdout.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "instances/generators.hpp"
+#include "io/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+nat::at::Instance make(const std::string& family, std::uint64_t seed) {
+  using namespace nat;
+  util::Rng rng(seed);
+  if (family == "random") {
+    at::gen::RandomLaminarParams params;
+    params.g = 4;
+    params.max_depth = 3;
+    params.max_children = 3;
+    params.max_jobs_per_node = 4;
+    return at::gen::random_laminar(params, rng);
+  }
+  if (family == "contended") {
+    at::gen::ContendedParams params;
+    params.g = 4;
+    return at::gen::random_contended(params, rng);
+  }
+  if (family == "unit") {
+    at::gen::RandomLaminarParams params;
+    params.g = 3;
+    params.max_depth = 3;
+    return at::gen::random_laminar_unit(params, rng);
+  }
+  if (family == "overload") return at::gen::unit_overload(4 + seed % 8);
+  if (family == "lemma51") return at::gen::lemma51_gap(3 + seed % 8);
+  throw std::runtime_error("unknown family: " + family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* families[] = {"random", "contended", "unit", "overload",
+                            "lemma51"};
+  try {
+    if (argc < 2) {
+      for (const char* family : families) {
+        std::cout << "# family: " << family << '\n';
+        nat::io::write_instance(std::cout, make(family, 1));
+        std::cout << '\n';
+      }
+      return 0;
+    }
+    const std::string family = argv[1];
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    const nat::at::Instance inst = make(family, seed);
+    if (argc > 2) {
+      std::ofstream out(argv[2]);
+      if (!out) {
+        std::cerr << "cannot write " << argv[2] << '\n';
+        return 1;
+      }
+      nat::io::write_instance(out, inst);
+      std::cout << "wrote " << nat::at::summary(inst) << " to " << argv[2]
+                << '\n';
+    } else {
+      nat::io::write_instance(std::cout, inst);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// NP-completeness reduction demo (Section 6): walk a Set Cover
+// instance through Prefix Sum Cover into nested active-time and verify
+// the optimum survives both hops.
+//
+//   $ ./examples/reduction_demo
+#include <iostream>
+
+#include "baselines/exact.hpp"
+#include "io/serialize.hpp"
+#include "reductions/transforms.hpp"
+
+int main() {
+  using namespace nat;
+
+  // A classic set-cover instance: universe {0..3}, four sets.
+  red::SetCoverInstance sc;
+  sc.universe = 4;
+  sc.sets = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  std::cout << "Set Cover: universe of " << sc.universe << ", "
+            << sc.sets.size() << " sets; minimum cover = "
+            << *red::setcover_minimum(sc) << "\n\n";
+
+  // Hop 1: Set Cover -> Prefix Sum Cover.
+  const int k = 2;
+  red::PscInstance psc = red::setcover_to_psc(sc, k);
+  std::cout << "Hop 1 (difference encoding, k=" << k << "): d=" << psc.dim()
+            << ", vectors:\n";
+  for (const auto& u : psc.u) {
+    std::cout << "  u = (";
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      std::cout << u[j] << (j + 1 < u.size() ? ", " : ")\n");
+    }
+  }
+  std::cout << "  feasible with k=" << k << "? "
+            << (red::psc_feasible_brute_force(psc) ? "yes" : "no")
+            << "  (matches: minimum cover " << *red::setcover_minimum(sc)
+            << " <= " << k << ")\n\n";
+
+  // Hop 2: Prefix Sum Cover -> nested active-time. Use a small ordered
+  // PSC instance directly, so the exact solver stays fast.
+  red::PscInstance small;
+  small.u = {{2, 1}, {2, 2}, {1, 1}};
+  small.v = {3, 2};
+  small.k = 2;
+  red::PscToActiveTimeResult hop2 = red::psc_to_active_time(small);
+  std::cout << "Hop 2: PSC (n=3, d=2, W=" << hop2.W
+            << ") becomes an active-time instance with g="
+            << hop2.instance.g << ", " << hop2.instance.num_jobs()
+            << " jobs over horizon " << hop2.instance.horizon() << ".\n";
+  const auto min_k = red::psc_minimum_brute_force(small);
+  const auto opt = at::baselines::exact_opt_laminar(hop2.instance);
+  std::cout << "  PSC minimum k*      = " << *min_k << '\n'
+            << "  forced rigid slots  = " << hop2.non_special_slots << '\n'
+            << "  active-time OPT     = " << opt->optimum << "  (= "
+            << hop2.non_special_slots << " + " << *min_k << ")\n";
+  std::cout << "\nOPT transferred exactly across the reduction — the "
+               "nested problem is as hard as Set Cover's decision "
+               "version.\n";
+  return 0;
+}

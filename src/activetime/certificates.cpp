@@ -1,0 +1,95 @@
+#include "activetime/certificates.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+/// |J'(Anc(i))| for every node i: the number of subset jobs whose node
+/// is an ancestor of i (those are exactly the jobs allowed in region i).
+std::vector<std::int64_t> subset_jobs_above(
+    const LaminarForest& forest, const std::vector<int>& job_subset) {
+  std::vector<std::int64_t> at_node(forest.num_nodes(), 0);
+  for (int j : job_subset) {
+    ++at_node[forest.node_of_job(j)];
+  }
+  // Push down the tree: count of subset jobs at ancestors (inclusive).
+  std::vector<std::int64_t> above(forest.num_nodes(), 0);
+  for (int r : forest.roots()) {
+    // Preorder via subtree(): parents precede children.
+    for (int v : forest.subtree(r)) {
+      const int p = forest.node(v).parent;
+      above[v] = at_node[v] + (p >= 0 ? above[p] : 0);
+    }
+  }
+  return above;
+}
+
+}  // namespace
+
+std::int64_t lemma41_lhs(const LaminarForest& forest,
+                         const std::vector<Time>& counts,
+                         const std::vector<int>& job_subset) {
+  NAT_CHECK(static_cast<int>(counts.size()) == forest.num_nodes());
+  const std::vector<std::int64_t> above =
+      subset_jobs_above(forest, job_subset);
+  std::int64_t lhs = 0;
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    lhs += std::min(above[i], forest.g()) * counts[i];
+  }
+  return lhs;
+}
+
+std::int64_t lemma41_rhs(const LaminarForest& forest,
+                         const std::vector<int>& job_subset) {
+  std::int64_t rhs = 0;
+  for (int j : job_subset) rhs += forest.jobs().at(j).processing;
+  return rhs;
+}
+
+std::optional<std::vector<int>> find_violating_subset(
+    const LaminarForest& forest, const std::vector<Time>& counts) {
+  const int n = static_cast<int>(forest.jobs().size());
+  NAT_CHECK_MSG(n <= 20, "subset sweep limited to 20 jobs, got " << n);
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int> subset;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) subset.push_back(j);
+    }
+    if (lemma41_lhs(forest, counts, subset) <
+        lemma41_rhs(forest, subset)) {
+      return subset;
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t lemma43_cheap_capacity(const LaminarForest& forest,
+                                    const std::vector<Time>& counts,
+                                    const std::vector<int>& job_subset,
+                                    int job) {
+  const std::vector<std::int64_t> above =
+      subset_jobs_above(forest, job_subset);
+  std::int64_t cheap = 0;
+  for (int i : forest.subtree(forest.node_of_job(job))) {
+    if (above[i] <= forest.g()) cheap += counts[i];
+  }
+  return cheap;
+}
+
+bool satisfies_lemma43_property(const LaminarForest& forest,
+                                const std::vector<Time>& counts,
+                                const std::vector<int>& job_subset) {
+  for (int j : job_subset) {
+    if (forest.jobs()[j].processing <=
+        lemma43_cheap_capacity(forest, counts, job_subset, j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nat::at

@@ -1,0 +1,55 @@
+// Executable versions of the paper's feasibility characterization
+// (Section 4.1):
+//
+//   Lemma 4.1: an integral open-count vector x~ schedules all jobs iff
+//   for every job subset J',
+//       Σ_i min(|J'(Anc(i))|, g) * x~(i)  >=  p(J').          (9)
+//
+//   Lemma 4.3: it suffices to check subsets J' in which every job
+//   individually overflows its cheap regions:
+//       p_j > x~({i ∈ Des(k(j)) : |J'(Anc(i))| <= g})  for all j ∈ J'.
+//
+// These are analysis tools: the production feasibility oracle is the
+// max-flow test (activetime/feasibility.*); this module exposes the
+// combinatorial side so the test suite can certify the equivalence on
+// exhaustive subset sweeps, and so infeasibility comes with a witness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "activetime/tree.hpp"
+
+namespace nat::at {
+
+/// Left-hand side of (9) for the given job subset (indices into
+/// forest.jobs()).
+std::int64_t lemma41_lhs(const LaminarForest& forest,
+                         const std::vector<Time>& counts,
+                         const std::vector<int>& job_subset);
+
+/// Total processing volume of the subset — the right-hand side of (9).
+std::int64_t lemma41_rhs(const LaminarForest& forest,
+                         const std::vector<int>& job_subset);
+
+/// Exhaustively searches all 2^n job subsets for a violator of (9);
+/// returns one (smallest first in enumeration order) or nullopt when
+/// the condition holds everywhere. Requires n <= 20.
+std::optional<std::vector<int>> find_violating_subset(
+    const LaminarForest& forest, const std::vector<Time>& counts);
+
+/// x~({i ∈ Des(k(j)) : |J'(Anc(i))| <= g}) — the "cheap capacity" job j
+/// sees under the subset. Lemma 4.3 prunes jobs with p_j <= this.
+std::int64_t lemma43_cheap_capacity(const LaminarForest& forest,
+                                    const std::vector<Time>& counts,
+                                    const std::vector<int>& job_subset,
+                                    int job);
+
+/// True iff the subset satisfies the Lemma 4.3 minimality property
+/// (every member job overflows the regions where the subset is small).
+bool satisfies_lemma43_property(const LaminarForest& forest,
+                                const std::vector<Time>& counts,
+                                const std::vector<int>& job_subset);
+
+}  // namespace nat::at

@@ -1,0 +1,184 @@
+#include "activetime/exact_pipeline.hpp"
+
+#include <algorithm>
+
+#include "activetime/feasibility.hpp"
+#include "activetime/lp_relaxation.hpp"
+#include "activetime/tree.hpp"
+#include "lp/exact_simplex.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+using num::Rational;
+
+/// Exact Lemma 3.1 transform (same structure as the double version in
+/// lp_transform.cpp, with exact sign tests; y is not tracked — the
+/// rounding only consumes x, and feasibility is re-proved by flow).
+void exact_push_down(const LaminarForest& forest,
+                     std::vector<Rational>& x) {
+  for (int i : forest.postorder()) {
+    if (x[i].sign() <= 0) continue;
+    std::vector<int> candidates;
+    for (int d : forest.subtree(i)) {
+      if (d == i) continue;
+      if (Rational(forest.node(d).length()) - x[d] > Rational(0)) {
+        candidates.push_back(d);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return forest.depth(a) > forest.depth(b);
+    });
+    for (int d : candidates) {
+      if (x[i].sign() <= 0) break;
+      const Rational spare = Rational(forest.node(d).length()) - x[d];
+      if (spare.sign() <= 0) continue;
+      const Rational theta = std::min(spare, x[i]);
+      x[d] += theta;
+      x[i] -= theta;
+    }
+  }
+}
+
+std::vector<int> exact_topmost(const LaminarForest& forest,
+                               const std::vector<Rational>& x) {
+  std::vector<int> out;
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    if (x[i].sign() <= 0) continue;
+    bool top = true;
+    for (int a = forest.node(i).parent; a >= 0; a = forest.node(a).parent) {
+      if (x[a].sign() > 0) {
+        top = false;
+        break;
+      }
+    }
+    if (top) out.push_back(i);
+  }
+  return out;
+}
+
+/// Exact Algorithm 1.
+std::vector<Time> exact_round(const LaminarForest& forest,
+                              const std::vector<Rational>& x,
+                              const std::vector<int>& topmost) {
+  const int m = forest.num_nodes();
+  std::vector<Time> xt(m, 0);
+  std::vector<bool> in_topmost(m, false);
+  for (int i : topmost) in_topmost[i] = true;
+  for (int i = 0; i < m; ++i) {
+    if (in_topmost[i]) {
+      xt[i] = x[i].floor().to_int64();
+    } else {
+      NAT_CHECK_MSG(x[i].is_integer(),
+                    "exact pipeline: node outside I is fractional");
+      xt[i] = x[i].num().to_int64();
+    }
+  }
+
+  std::vector<int> anc;
+  {
+    std::vector<bool> seen(m, false);
+    for (int i : topmost) {
+      for (int a = i; a >= 0; a = forest.node(a).parent) {
+        if (seen[a]) break;
+        seen[a] = true;
+        anc.push_back(a);
+      }
+    }
+    std::sort(anc.begin(), anc.end(), [&](int a, int b) {
+      return forest.depth(a) > forest.depth(b);
+    });
+  }
+
+  const Rational nine_fifths = Rational::from_int64(9, 5);
+  for (int i : anc) {
+    const std::vector<int> des = forest.subtree(i);
+    Rational frac_sum;
+    std::int64_t rounded_sum = 0;
+    std::vector<int> flooreds;
+    for (int d : des) {
+      frac_sum += x[d];
+      rounded_sum += xt[d];
+      if (Rational(xt[d]) < x[d]) flooreds.push_back(d);
+    }
+    // Exact while-condition of Algorithm 1: 9x/5 >= x~ + 1.
+    while (!flooreds.empty() &&
+           nine_fifths * frac_sum >= Rational(rounded_sum + 1)) {
+      const int d = flooreds.back();
+      flooreds.pop_back();
+      const std::int64_t up = x[d].ceil().to_int64();
+      rounded_sum += up - xt[d];
+      xt[d] = up;
+    }
+  }
+  return xt;
+}
+
+}  // namespace
+
+ExactPipelineResult solve_nested_exact(const Instance& instance) {
+  ExactPipelineResult result;
+  if (instance.jobs.empty()) return result;
+
+  LaminarForest forest = LaminarForest::build(instance);
+  forest.canonicalize();
+  {
+    std::vector<Time> full(forest.num_nodes());
+    for (int i = 0; i < forest.num_nodes(); ++i) {
+      full[i] = forest.node(i).length();
+    }
+    NAT_CHECK_MSG(feasible_with_counts(forest, full),
+                  "instance is infeasible");
+  }
+
+  StrongLp lp = build_strong_lp(forest);
+  lp::ExactSolution sol = lp::solve_exact(lp.model);
+  NAT_CHECK_MSG(sol.status == lp::Status::kOptimal,
+                "exact LP did not solve: " << lp::to_string(sol.status));
+  result.lp_value = sol.objective;
+
+  std::vector<Rational> x(forest.num_nodes());
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    x[i] = sol.x[lp.x_var[i]];
+    NAT_CHECK_MSG(x[i].sign() >= 0 &&
+                      x[i] <= Rational(forest.node(i).length()),
+                  "exact LP variable out of bounds at node " << i);
+  }
+
+  exact_push_down(forest, x);
+  // Certify the Lemma 3.1 fixed point exactly.
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    if (x[i].sign() <= 0) continue;
+    for (int d : forest.subtree(i)) {
+      if (d == i) continue;
+      NAT_CHECK_MSG(x[d] == Rational(forest.node(d).length()),
+                    "exact transform missed the fixed point");
+    }
+  }
+  result.x_fractional = x;
+  result.topmost = exact_topmost(forest, x);
+  result.x_rounded = exact_round(forest, x, result.topmost);
+
+  // Theorem 4.5: no repairs permitted in exact arithmetic.
+  auto schedule = schedule_with_counts(forest, result.x_rounded);
+  NAT_CHECK_MSG(schedule.has_value(),
+                "exact rounding produced an infeasible vector — this "
+                "would contradict Theorem 4.5");
+  result.schedule = std::move(*schedule);
+  validate_schedule(instance, result.schedule);
+  result.active_slots = result.schedule.active_slots();
+
+  // Lemma 3.3, exactly: x~([m]) <= (9/5) x([m]).
+  Rational total;
+  for (const Rational& v : x) total += v;
+  std::int64_t rounded_total = 0;
+  for (Time t : result.x_rounded) rounded_total += t;
+  NAT_CHECK_MSG(Rational(rounded_total) <=
+                    Rational::from_int64(9, 5) * total,
+                "Lemma 3.3 budget exceeded in exact arithmetic");
+  return result;
+}
+
+}  // namespace nat::at

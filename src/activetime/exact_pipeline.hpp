@@ -1,0 +1,36 @@
+// Fully exact 9/5 pipeline: LP (1) solved by the rational simplex, the
+// Lemma 3.1 transform and Algorithm 1 executed in exact rational
+// arithmetic. No epsilons anywhere — every comparison in the transform
+// and the rounding is an exact sign test, so the Lemma 3.3 budget
+// 9x/5 >= x~ + 1 is evaluated precisely and the output is *provably*
+// the paper's algorithm, not a floating-point approximation of it.
+//
+// Intended for certification and for small/medium instances (rational
+// simplex cost); the double pipeline (solver.hpp) is the production
+// path, and the test suite cross-checks the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/schedule.hpp"
+#include "numeric/rational.hpp"
+
+namespace nat::at {
+
+struct ExactPipelineResult {
+  Schedule schedule;
+  std::int64_t active_slots = 0;
+  num::Rational lp_value;
+  std::vector<num::Rational> x_fractional;  // transformed, per node
+  std::vector<Time> x_rounded;
+  std::vector<int> topmost;
+};
+
+/// Runs the exact pipeline. NAT_CHECKs laminarity / feasibility and —
+/// since arithmetic is exact — that the rounded vector is feasible
+/// outright (Theorem 4.5 holds with no repair loop at all).
+ExactPipelineResult solve_nested_exact(const Instance& instance);
+
+}  // namespace nat::at

@@ -1,0 +1,216 @@
+#include "activetime/feasibility.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "flow/dinic.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+std::vector<Time> dedup_sorted(std::vector<Time> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// Builds the job→slot network; returns (graph, s, t, edge ids of
+/// job→slot arcs as flat j*S+k matrix with -1 for invalid pairs).
+struct SlotNetwork {
+  flow::MaxFlowGraph graph;
+  int s = 0, t = 0;
+  std::vector<int> job_slot_edge;  // n x S, -1 where window misses slot
+  std::vector<Time> slots;
+};
+
+SlotNetwork build_slot_network(const Instance& instance,
+                               const std::vector<Time>& open_slots) {
+  SlotNetwork net;
+  net.slots = dedup_sorted(open_slots);
+  const int n = instance.num_jobs();
+  const int S = static_cast<int>(net.slots.size());
+  net.graph = flow::MaxFlowGraph(n + S + 2);
+  net.s = n + S;
+  net.t = n + S + 1;
+  net.job_slot_edge.assign(static_cast<std::size_t>(n) * S, -1);
+  for (int j = 0; j < n; ++j) {
+    net.graph.add_edge(net.s, j, instance.jobs[j].processing);
+  }
+  for (int k = 0; k < S; ++k) {
+    net.graph.add_edge(n + k, net.t, instance.g);
+  }
+  for (int j = 0; j < n; ++j) {
+    const Interval w = instance.jobs[j].window();
+    for (int k = 0; k < S; ++k) {
+      if (w.contains(net.slots[k])) {
+        net.job_slot_edge[static_cast<std::size_t>(j) * S + k] =
+            net.graph.add_edge(j, n + k, 1);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+bool feasible_with_slots(const Instance& instance,
+                         const std::vector<Time>& open_slots) {
+  SlotNetwork net = build_slot_network(instance, open_slots);
+  return net.graph.max_flow(net.s, net.t) == instance.total_volume();
+}
+
+std::optional<Schedule> schedule_with_slots(
+    const Instance& instance, const std::vector<Time>& open_slots) {
+  SlotNetwork net = build_slot_network(instance, open_slots);
+  if (net.graph.max_flow(net.s, net.t) != instance.total_volume()) {
+    return std::nullopt;
+  }
+  const int n = instance.num_jobs();
+  const int S = static_cast<int>(net.slots.size());
+  Schedule sched;
+  sched.assignment.resize(n);
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < S; ++k) {
+      int e = net.job_slot_edge[static_cast<std::size_t>(j) * S + k];
+      if (e >= 0 && net.graph.flow_on(e) > 0) {
+        sched.assignment[j].push_back(net.slots[k]);
+      }
+    }
+  }
+  return sched;
+}
+
+std::vector<Time> materialize_slots(const LaminarForest& forest,
+                                    const std::vector<Time>& open) {
+  NAT_CHECK(static_cast<int>(open.size()) == forest.num_nodes());
+  std::vector<Time> slots;
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    NAT_CHECK_MSG(open[i] >= 0 && open[i] <= forest.node(i).length(),
+                  "region " << i << ": open count " << open[i]
+                            << " out of [0, " << forest.node(i).length()
+                            << "]");
+    Time remaining = open[i];
+    for (const Interval& iv : forest.node(i).owned) {
+      for (Time t = iv.lo; t < iv.hi && remaining > 0; ++t, --remaining) {
+        slots.push_back(t);
+      }
+      if (remaining == 0) break;
+    }
+  }
+  return dedup_sorted(slots);
+}
+
+namespace {
+
+struct RegionNetwork {
+  flow::MaxFlowGraph graph;
+  int s = 0, t = 0;
+  // Sparse job→region arcs: (job, region, edge id).
+  struct Arc {
+    int job, region, edge;
+  };
+  std::vector<Arc> arcs;
+};
+
+RegionNetwork build_region_network(const LaminarForest& forest,
+                                   const std::vector<Time>& open) {
+  NAT_CHECK(static_cast<int>(open.size()) == forest.num_nodes());
+  const int n = static_cast<int>(forest.jobs().size());
+  const int m = forest.num_nodes();
+  RegionNetwork net;
+  net.graph = flow::MaxFlowGraph(n + m + 2);
+  net.s = n + m;
+  net.t = n + m + 1;
+  for (int j = 0; j < n; ++j) {
+    net.graph.add_edge(net.s, j, forest.jobs()[j].processing);
+  }
+  for (int i = 0; i < m; ++i) {
+    NAT_CHECK(open[i] >= 0 && open[i] <= forest.node(i).length());
+    if (open[i] > 0) {
+      net.graph.add_edge(n + i, net.t, forest.g() * open[i]);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    const int kj = forest.node_of_job(j);
+    for (int i : forest.subtree(kj)) {
+      if (open[i] > 0) {
+        int e = net.graph.add_edge(j, n + i, open[i]);
+        net.arcs.push_back({j, i, e});
+      }
+    }
+  }
+  return net;
+}
+
+std::int64_t total_volume(const LaminarForest& forest) {
+  std::int64_t v = 0;
+  for (const Job& job : forest.jobs()) v += job.processing;
+  return v;
+}
+
+}  // namespace
+
+bool feasible_with_counts(const LaminarForest& forest,
+                          const std::vector<Time>& open) {
+  RegionNetwork net = build_region_network(forest, open);
+  return net.graph.max_flow(net.s, net.t) == total_volume(forest);
+}
+
+std::optional<Schedule> schedule_with_counts(const LaminarForest& forest,
+                                             const std::vector<Time>& open) {
+  RegionNetwork net = build_region_network(forest, open);
+  if (net.graph.max_flow(net.s, net.t) != total_volume(forest)) {
+    return std::nullopt;
+  }
+  const int n = static_cast<int>(forest.jobs().size());
+  const int m = forest.num_nodes();
+
+  // Per-region job volumes from the flow.
+  std::vector<std::vector<std::pair<std::int64_t, int>>> region_jobs(m);
+  for (const auto& arc : net.arcs) {
+    std::int64_t f = net.graph.flow_on(arc.edge);
+    if (f > 0) region_jobs[arc.region].push_back({f, arc.job});
+  }
+
+  Schedule sched;
+  sched.assignment.resize(n);
+  for (int i = 0; i < m; ++i) {
+    if (region_jobs[i].empty()) continue;
+    // Concrete slots for this region: leftmost open[i] of owned ranges.
+    std::vector<Time> slots;
+    Time remaining = open[i];
+    for (const Interval& iv : forest.node(i).owned) {
+      for (Time t = iv.lo; t < iv.hi && remaining > 0; ++t, --remaining) {
+        slots.push_back(t);
+      }
+    }
+    // Least-loaded greedy on descending volume. Always realizable since
+    // each volume <= |slots| (arc capacity) and total <= g * |slots|.
+    std::sort(region_jobs[i].rbegin(), region_jobs[i].rend());
+    std::vector<std::int64_t> load(slots.size(), 0);
+    for (const auto& [vol, job] : region_jobs[i]) {
+      // Pick the `vol` least-loaded slot indices.
+      std::vector<int> order(slots.size());
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        order[k] = static_cast<int>(k);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int a, int b) { return load[a] < load[b]; });
+      NAT_CHECK_MSG(vol <= static_cast<std::int64_t>(slots.size()),
+                    "region volume exceeds slot count");
+      for (std::int64_t k = 0; k < vol; ++k) {
+        int slot = order[static_cast<std::size_t>(k)];
+        NAT_CHECK_MSG(load[slot] < forest.g(),
+                      "greedy slot fill exceeded capacity");
+        ++load[slot];
+        sched.assignment[job].push_back(slots[slot]);
+      }
+    }
+  }
+  for (auto& slots : sched.assignment) std::sort(slots.begin(), slots.end());
+  return sched;
+}
+
+}  // namespace nat::at

@@ -1,0 +1,56 @@
+// Flow-based feasibility oracles and schedule extraction.
+//
+// Two levels, both reductions to max-flow saturation (the classical
+// test the paper cites, and the 4-layer network of Lemma 4.1):
+//
+//  * slot level (general instances): source → job (cap p_j) →
+//    open slot within the window (cap 1) → sink (cap g);
+//  * region level (laminar instances): source → job (cap p_j) →
+//    tree region i ∈ Des(k(j)) (cap open[i]) → sink (cap g·open[i]).
+//
+// The region-level test is exact because every slot in a node's
+// exclusive region is usable by exactly the jobs of its ancestors.
+// Extraction materializes the leftmost `open[i]` slots of each region
+// and distributes each job's per-region volume over concrete slots with
+// a least-loaded greedy (always realizable: per-job use ≤ open count
+// and total ≤ g·open; validated defensively).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/schedule.hpp"
+#include "activetime/tree.hpp"
+
+namespace nat::at {
+
+/// --- Slot level (works for any instance, laminar or not) -----------------
+
+/// True iff all jobs fit using only the given open slot times
+/// (duplicates allowed in input; they are deduplicated).
+bool feasible_with_slots(const Instance& instance,
+                         const std::vector<Time>& open_slots);
+
+/// Schedule using only the given open slots, or nullopt if infeasible.
+std::optional<Schedule> schedule_with_slots(
+    const Instance& instance, const std::vector<Time>& open_slots);
+
+/// --- Region level (laminar; counts indexed by forest node) ---------------
+
+/// True iff the forest's jobs fit when region i has open[i] open slots.
+/// NAT_CHECKs 0 <= open[i] <= L(i).
+bool feasible_with_counts(const LaminarForest& forest,
+                          const std::vector<Time>& open);
+
+/// Extracts a schedule for the forest's jobs (post-canonicalization
+/// windows, which are subsets of the originals) under region counts.
+std::optional<Schedule> schedule_with_counts(const LaminarForest& forest,
+                                             const std::vector<Time>& open);
+
+/// The concrete slot times materialized for the given counts: the
+/// leftmost open[i] slots of each region.
+std::vector<Time> materialize_slots(const LaminarForest& forest,
+                                    const std::vector<Time>& open);
+
+}  // namespace nat::at

@@ -1,0 +1,69 @@
+#include "activetime/instance.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Job& job) {
+  return os << "job(p=" << job.processing << ", w=" << job.window() << ')';
+}
+
+void Instance::validate() const {
+  NAT_CHECK_MSG(g >= 1, "instance: g must be >= 1, got " << g);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
+    NAT_CHECK_MSG(job.processing >= 1,
+                  "job " << j << ": processing must be >= 1");
+    NAT_CHECK_MSG(job.deadline >= job.release + job.processing,
+                  "job " << j << ": window " << job.window()
+                         << " shorter than processing " << job.processing);
+  }
+}
+
+Interval Instance::horizon() const {
+  if (jobs.empty()) return {};
+  Interval h{jobs.front().release, jobs.front().deadline};
+  for (const Job& job : jobs) {
+    h.lo = std::min(h.lo, job.release);
+    h.hi = std::max(h.hi, job.deadline);
+  }
+  return h;
+}
+
+std::int64_t Instance::total_volume() const {
+  std::int64_t v = 0;
+  for (const Job& job : jobs) v += job.processing;
+  return v;
+}
+
+bool Instance::is_laminar() const {
+  for (std::size_t a = 0; a < jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < jobs.size(); ++b) {
+      const Interval wa = jobs[a].window();
+      const Interval wb = jobs[b].window();
+      if (!wa.disjoint(wb) && !wa.inside(wb) && !wb.inside(wa)) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t Instance::volume_lower_bound() const {
+  return (total_volume() + g - 1) / g;
+}
+
+std::string summary(const Instance& instance) {
+  std::ostringstream os;
+  os << "n=" << instance.num_jobs() << " g=" << instance.g << " horizon="
+     << instance.horizon() << " volume=" << instance.total_volume();
+  return os.str();
+}
+
+}  // namespace nat::at

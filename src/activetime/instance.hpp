@@ -1,0 +1,38 @@
+// Active-time problem instance: jobs plus the per-slot parallelism g.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "activetime/job.hpp"
+
+namespace nat::at {
+
+struct Instance {
+  std::int64_t g = 1;      // jobs schedulable per active slot
+  std::vector<Job> jobs;
+
+  int num_jobs() const { return static_cast<int>(jobs.size()); }
+
+  /// Throws util::CheckError when malformed (g < 1, p < 1, or a window
+  /// shorter than its job's processing time).
+  void validate() const;
+
+  /// [min release, max deadline); empty interval when there are no jobs.
+  Interval horizon() const;
+
+  /// Total processing volume of all jobs.
+  std::int64_t total_volume() const;
+
+  /// True iff every pair of job windows is nested or disjoint.
+  bool is_laminar() const;
+
+  /// ceil(total volume / g): trivial lower bound on active slots.
+  std::int64_t volume_lower_bound() const;
+};
+
+/// Returns a human-readable one-line summary ("n=5 g=2 horizon=[0,10)").
+std::string summary(const Instance& instance);
+
+}  // namespace nat::at

@@ -1,0 +1,48 @@
+// Job and interval primitives for the active-time problem.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace nat::at {
+
+using Time = std::int64_t;
+
+/// Half-open time interval [lo, hi).
+struct Interval {
+  Time lo = 0;
+  Time hi = 0;
+
+  Time length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(Time t) const { return lo <= t && t < hi; }
+  /// this ⊆ other.
+  bool inside(const Interval& other) const {
+    return other.lo <= lo && hi <= other.hi;
+  }
+  /// this ⊊ other.
+  bool strictly_inside(const Interval& other) const {
+    return inside(other) && (lo != other.lo || hi != other.hi);
+  }
+  bool disjoint(const Interval& other) const {
+    return hi <= other.lo || other.hi <= lo;
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+/// A preemptible job: must receive `processing` distinct unit slots
+/// inside its window [release, deadline).
+struct Job {
+  Time release = 0;
+  Time deadline = 0;
+  std::int64_t processing = 1;
+
+  Interval window() const { return Interval{release, deadline}; }
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Job& job);
+
+}  // namespace nat::at

@@ -1,0 +1,73 @@
+// The strengthened tree LP of the paper (Figure 1(a), LP (1)).
+//
+// Variables: x(i) = fractional open slots in region i (bounded by
+// L(i), constraint (4)); y(i,j) = volume of job j placed in region i,
+// only for i ∈ Des(k(j)) (constraint (6) by construction).
+// Rows: coverage (2), capacity (3), per-job cap (5), and the ceiling
+// constraints (7)/(8) driven by the OPT_i tests in opt_bounds.*.
+//
+// Jobs with identical (node, processing) are symmetric in the LP, so
+// the builder aggregates them into weighted classes by default: the
+// class variable Y(i,c) stands for the sum of its members' y(i,j), the
+// per-job cap (5) becomes Y(i,c) <= |c| * x(i). Averaging a feasible y
+// over the class (the feasible region is convex and permutation-
+// symmetric) shows the aggregated LP has the same optimum; tests verify
+// this against the non-aggregated build.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/tree.hpp"
+#include "lp/dense_simplex.hpp"
+#include "lp/model.hpp"
+
+namespace nat::at {
+
+/// Symmetric job group: all jobs at `node` with this processing time.
+struct JobClass {
+  int node = -1;
+  std::int64_t processing = 0;
+  std::vector<int> jobs;  // member job indices
+
+  int count() const { return static_cast<int>(jobs.size()); }
+};
+
+std::vector<JobClass> build_job_classes(const LaminarForest& forest,
+                                        bool aggregate);
+
+struct StrongLpOptions {
+  bool aggregate_classes = true;
+  bool ceiling_constraints = true;  // constraints (7)/(8); off = ablation
+};
+
+struct StrongLp {
+  lp::Model model;
+  std::vector<int> x_var;  // per tree node
+  // Per class: (node, variable index) for each i ∈ Des(k(class)).
+  std::vector<std::vector<std::pair<int, int>>> y_vars;
+  std::vector<JobClass> classes;
+  // Nodes for which constraint (7) (OPT_i >= 2) / (8) (OPT_i >= 3)
+  // were emitted.
+  std::vector<int> nodes_opt_ge_2;
+  std::vector<int> nodes_opt_ge_3;
+};
+
+StrongLp build_strong_lp(const LaminarForest& forest,
+                         const StrongLpOptions& options = {});
+
+/// Fractional LP solution in tree coordinates.
+struct FractionalSolution {
+  std::vector<double> x;                // per node
+  std::vector<std::vector<double>> y;   // y[c][k] aligned with y_vars[c]
+};
+
+/// Unpacks an lp::Solution into tree coordinates.
+FractionalSolution unpack(const StrongLp& lp, const lp::Solution& solution);
+
+/// Max violation of LP (1) at (x, y) — 0 (up to fp noise) iff feasible.
+/// Used by tests to certify the Lemma 3.1 transform output.
+double lp_violation(const LaminarForest& forest, const StrongLp& lp,
+                    const FractionalSolution& sol);
+
+}  // namespace nat::at

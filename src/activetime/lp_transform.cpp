@@ -1,0 +1,144 @@
+#include "activetime/lp_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
+                         FractionalSolution& sol) {
+  const int m = forest.num_nodes();
+  NAT_CHECK(static_cast<int>(sol.x.size()) == m);
+
+  // Reverse index: for each node, the (class, slot-in-class) pairs of
+  // its y variables.
+  std::vector<std::vector<std::pair<int, int>>> at_node(m);
+  for (std::size_t c = 0; c < lp.y_vars.size(); ++c) {
+    for (std::size_t k = 0; k < lp.y_vars[c].size(); ++k) {
+      at_node[lp.y_vars[c][k].first].push_back(
+          {static_cast<int>(c), static_cast<int>(k)});
+    }
+  }
+
+  for (int i : forest.postorder()) {
+    if (sol.x[i] <= kFracEps) continue;
+    // Candidates: strict descendants with spare capacity, deepest
+    // first so that filling one never creates a positive node above a
+    // non-full one.
+    std::vector<int> candidates;
+    for (int d : forest.subtree(i)) {
+      if (d == i) continue;
+      if (static_cast<double>(forest.node(d).length()) - sol.x[d] >
+          kFracEps) {
+        candidates.push_back(d);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return forest.depth(a) > forest.depth(b);
+    });
+    for (int d : candidates) {
+      const double spare =
+          static_cast<double>(forest.node(d).length()) - sol.x[d];
+      if (spare <= kFracEps || sol.x[i] <= kFracEps) continue;
+      const double theta = std::min(spare, sol.x[i]);
+      const double ratio = theta / sol.x[i];
+      // Move a proportional share of every assignment from i to d.
+      // Valid: d ∈ Des(i), so every class assignable to i is
+      // assignable to d.
+      for (const auto& [c, k] : at_node[i]) {
+        const double moved = ratio * sol.y[c][k];
+        if (moved == 0.0) continue;
+        sol.y[c][k] -= moved;
+        // Find d's slot within class c (exists whenever the class's
+        // node is an ancestor of i, hence of d... d is a descendant of
+        // i ⊆ Des(k(c)), so d ∈ Des(k(c)) too).
+        bool placed = false;
+        for (std::size_t k2 = 0; k2 < lp.y_vars[c].size(); ++k2) {
+          if (lp.y_vars[c][k2].first == d) {
+            sol.y[c][k2] += moved;
+            placed = true;
+            break;
+          }
+        }
+        NAT_CHECK_MSG(placed, "transform: class has no slot at descendant");
+      }
+      sol.x[d] += theta;
+      sol.x[i] -= theta;
+      if (sol.x[i] <= kFracEps) break;
+    }
+    // Snap a sub-tolerance residue to zero so downstream
+    // classification is clean.
+    if (sol.x[i] <= kFracEps) sol.x[i] = 0.0;
+  }
+}
+
+std::vector<int> topmost_positive(const LaminarForest& forest,
+                                  const std::vector<double>& x, double eps) {
+  std::vector<int> out;
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    if (x[i] <= eps) continue;
+    bool top = true;
+    for (int a = forest.node(i).parent; a >= 0; a = forest.node(a).parent) {
+      if (x[a] > eps) {
+        top = false;
+        break;
+      }
+    }
+    if (top) out.push_back(i);
+  }
+  return out;
+}
+
+std::string check_claim1(const LaminarForest& forest,
+                         const std::vector<double>& x,
+                         const std::vector<int>& topmost, double eps) {
+  std::ostringstream os;
+  // (1a) antichain.
+  for (int a : topmost) {
+    for (int b : topmost) {
+      if (a != b && forest.is_ancestor(a, b)) {
+        os << "(1a) " << a << " is an ancestor of " << b;
+        return os.str();
+      }
+    }
+  }
+  // (1b) Des(I) covers all leaves.
+  std::vector<bool> covered(forest.num_nodes(), false);
+  for (int i : topmost) {
+    for (int d : forest.subtree(i)) covered[d] = true;
+  }
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    if (forest.node(i).children.empty() && !covered[i]) {
+      os << "(1b) leaf " << i << " not under any topmost node";
+      return os.str();
+    }
+  }
+  // (1c) positive, (1d) strict descendants full, (1e) strict ancestors 0.
+  for (int i : topmost) {
+    if (x[i] <= eps) {
+      os << "(1c) topmost node " << i << " has x=0";
+      return os.str();
+    }
+    for (int d : forest.subtree(i)) {
+      if (d == i) continue;
+      if (std::abs(x[d] - static_cast<double>(forest.node(d).length())) >
+          eps) {
+        os << "(1d) descendant " << d << " of " << i << " not full: x="
+           << x[d] << " L=" << forest.node(d).length();
+        return os.str();
+      }
+    }
+    for (int a = forest.node(i).parent; a >= 0; a = forest.node(a).parent) {
+      if (x[a] > eps) {
+        os << "(1e) ancestor " << a << " of " << i << " has x>0";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace nat::at

@@ -1,0 +1,46 @@
+// Lemma 3.1: push-down transformation of a fractional LP solution.
+//
+// Rewrites (x, y) — preserving LP feasibility and the objective — so
+// that whenever a strict descendant i2 of i1 is not fully open
+// (x(i2) < L(i2)), the ancestor carries nothing (x(i1) = 0). Open mass
+// moves downward together with a proportional share of each job
+// assignment, exactly as in the lemma's proof.
+//
+// Implementation: one post-order pass; each node pushes its mass into
+// the non-full regions of its subtree, deepest candidates first. When a
+// node finishes, either it is empty or its strict subtree is fully
+// open, which is precisely the lemma's fixed point (see the proof
+// sketch in DESIGN.md §3).
+//
+// Also defines the "topmost positive set" I of Section 3.2 and the
+// Claim 1 property checks used by the test suite.
+#pragma once
+
+#include <vector>
+
+#include "activetime/lp_relaxation.hpp"
+#include "activetime/tree.hpp"
+
+namespace nat::at {
+
+/// Comparison slack for fractional slot masses (LP solved in doubles).
+inline constexpr double kFracEps = 1e-6;
+
+/// Applies the Lemma 3.1 transform in place.
+void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
+                         FractionalSolution& sol);
+
+/// The set I: nodes with x(i) > eps all of whose strict ancestors have
+/// x ≈ 0. Sorted ascending by node id.
+std::vector<int> topmost_positive(const LaminarForest& forest,
+                                  const std::vector<double>& x,
+                                  double eps = kFracEps);
+
+/// Verifies properties (1a)–(1e) of Claim 1 for a transformed solution;
+/// returns an empty string when all hold, else a description.
+std::string check_claim1(const LaminarForest& forest,
+                         const std::vector<double>& x,
+                         const std::vector<int>& topmost,
+                         double eps = kFracEps);
+
+}  // namespace nat::at

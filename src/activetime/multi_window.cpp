@@ -1,0 +1,159 @@
+#include "activetime/multi_window.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "flow/dinic.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+
+void MultiWindowInstance::validate() const {
+  NAT_CHECK_MSG(g >= 1, "multi-window: g must be >= 1");
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    NAT_CHECK_MSG(!jobs[j].windows.empty(),
+                  "multi-window job " << j << " has no windows");
+    for (const Interval& w : jobs[j].windows) {
+      NAT_CHECK_MSG(!w.empty(), "multi-window job " << j
+                                    << " has an empty window " << w);
+    }
+  }
+}
+
+std::vector<Time> MultiWindowInstance::candidate_slots() const {
+  std::vector<Time> slots;
+  for (const MultiWindowJob& job : jobs) {
+    for (const Interval& w : job.windows) {
+      for (Time t = w.lo; t < w.hi; ++t) slots.push_back(t);
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
+}
+
+namespace {
+
+struct CoverageNetwork {
+  flow::MaxFlowGraph graph;
+  int s = 0, t = 0;
+  std::vector<std::vector<std::pair<int, int>>> job_edges;  // (slot, edge)
+};
+
+CoverageNetwork build_network(const MultiWindowInstance& instance,
+                              const std::vector<Time>& slots) {
+  const int n = instance.num_jobs();
+  const int S = static_cast<int>(slots.size());
+  CoverageNetwork net;
+  net.graph = flow::MaxFlowGraph(n + S + 2);
+  net.s = n + S;
+  net.t = n + S + 1;
+  net.job_edges.resize(n);
+  for (int j = 0; j < n; ++j) {
+    net.graph.add_edge(net.s, j, 1);
+    for (int k = 0; k < S; ++k) {
+      if (instance.jobs[j].allows(slots[k])) {
+        net.job_edges[j].push_back(
+            {k, net.graph.add_edge(j, n + k, 1)});
+      }
+    }
+  }
+  for (int k = 0; k < S; ++k) {
+    net.graph.add_edge(n + k, net.t, instance.g);
+  }
+  return net;
+}
+
+}  // namespace
+
+std::int64_t max_coverage(const MultiWindowInstance& instance,
+                          const std::vector<Time>& open_slots) {
+  instance.validate();
+  std::vector<Time> slots = open_slots;
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  CoverageNetwork net = build_network(instance, slots);
+  return net.graph.max_flow(net.s, net.t);
+}
+
+double harmonic(std::int64_t g) {
+  double h = 0.0;
+  for (std::int64_t i = 1; i <= g; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+HgResult solve_multi_window_hg(const MultiWindowInstance& instance) {
+  instance.validate();
+  const std::vector<Time> candidates = instance.candidate_slots();
+  const std::int64_t n = instance.num_jobs();
+  NAT_CHECK_MSG(max_coverage(instance, candidates) == n,
+                "multi-window instance is infeasible");
+
+  HgResult result;
+  std::int64_t covered = 0;
+  std::vector<bool> used(candidates.size(), false);
+  while (covered < n) {
+    // Greedy step: slot with the best marginal gain (ties: leftmost).
+    std::int64_t best_gain = 0;
+    int best = -1;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      if (used[k]) continue;
+      std::vector<Time> trial = result.open_slots;
+      trial.push_back(candidates[k]);
+      const std::int64_t gain = max_coverage(instance, trial) - covered;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(k);
+      }
+    }
+    NAT_CHECK_MSG(best >= 0, "greedy stalled on a feasible instance");
+    used[best] = true;
+    result.open_slots.push_back(candidates[best]);
+    covered += best_gain;
+  }
+
+  // Extract the final assignment from one more flow computation.
+  std::vector<Time> slots = result.open_slots;
+  std::sort(slots.begin(), slots.end());
+  CoverageNetwork net = build_network(instance, slots);
+  const std::int64_t flow = net.graph.max_flow(net.s, net.t);
+  NAT_CHECK(flow == n);
+  result.assignment.assign(n, -1);
+  for (int j = 0; j < n; ++j) {
+    for (const auto& [slot, edge] : net.job_edges[j]) {
+      if (net.graph.flow_on(edge) > 0) {
+        result.assignment[j] = slots[slot];
+        break;
+      }
+    }
+    NAT_CHECK(result.assignment[j] >= 0);
+  }
+  result.active_slots = static_cast<std::int64_t>(result.open_slots.size());
+  return result;
+}
+
+std::optional<std::int64_t> exact_multi_window(
+    const MultiWindowInstance& instance, int max_slots) {
+  instance.validate();
+  const std::vector<Time> candidates = instance.candidate_slots();
+  const int S = static_cast<int>(candidates.size());
+  if (S > max_slots) return std::nullopt;
+  const std::int64_t n = instance.num_jobs();
+  NAT_CHECK_MSG(max_coverage(instance, candidates) == n,
+                "multi-window instance is infeasible");
+  int best = S;
+  const std::uint32_t full = (S >= 31) ? 0x7fffffffu : ((1u << S) - 1);
+  for (std::uint32_t mask = 0; mask <= full; ++mask) {
+    const int k = std::popcount(mask);
+    if (k >= best) continue;
+    std::vector<Time> open;
+    for (int b = 0; b < S; ++b) {
+      if (mask & (1u << b)) open.push_back(candidates[b]);
+    }
+    if (max_coverage(instance, open) == n) best = k;
+    if (mask == full) break;
+  }
+  return best;
+}
+
+}  // namespace nat::at

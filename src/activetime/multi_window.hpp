@@ -1,0 +1,73 @@
+// The multi-interval generalization from the paper's related work
+// (Section 1): unit-length jobs that may be scheduled in any slot of a
+// *collection* of intervals. Chang–Gabow–Khuller [2] show this is
+// NP-hard already for g >= 3 (poly for g = 2), and that it admits an
+// H_g-approximation through Wolsey's submodular-cover framework [12].
+//
+// This module implements that H_g algorithm: the coverage function
+// f(S) = "maximum number of jobs schedulable using open slot set S"
+// is monotone submodular (it is the rank of a transversal-style
+// matroid intersection, computed here by max-flow), each slot's
+// marginal gain is at most g, and the greedy that always opens the
+// best slot is an H_g = 1 + 1/2 + ... + 1/g approximation by Wolsey's
+// theorem. A slot-subset brute force serves as the OPT oracle in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "activetime/job.hpp"
+
+namespace nat::at {
+
+/// A unit-length job restricted to a union of half-open intervals.
+struct MultiWindowJob {
+  std::vector<Interval> windows;
+
+  bool allows(Time t) const {
+    for (const Interval& w : windows) {
+      if (w.contains(t)) return true;
+    }
+    return false;
+  }
+};
+
+struct MultiWindowInstance {
+  std::int64_t g = 1;
+  std::vector<MultiWindowJob> jobs;
+
+  int num_jobs() const { return static_cast<int>(jobs.size()); }
+  /// Throws when malformed (g < 1, a job with no window, empty window).
+  void validate() const;
+  /// Sorted distinct slots belonging to at least one job window.
+  std::vector<Time> candidate_slots() const;
+};
+
+/// f(S): the maximum number of jobs schedulable with the open slots S
+/// (<= g per slot, each job needs one slot it allows). Monotone and
+/// submodular in S.
+std::int64_t max_coverage(const MultiWindowInstance& instance,
+                          const std::vector<Time>& open_slots);
+
+struct HgResult {
+  std::vector<Time> open_slots;          // greedily chosen, in pick order
+  std::vector<Time> assignment;          // slot per job
+  std::int64_t active_slots = 0;
+};
+
+/// Wolsey-greedy submodular cover: repeatedly open the slot with the
+/// largest marginal coverage gain (ties: leftmost) until every job is
+/// covered. NAT_CHECKs that the instance is feasible (all candidate
+/// slots open cover everything). Guarantee: |open| <= H_g * OPT.
+HgResult solve_multi_window_hg(const MultiWindowInstance& instance);
+
+/// Exact minimum number of open slots by subset enumeration; nullopt
+/// when the candidate slot count exceeds `max_slots`.
+std::optional<std::int64_t> exact_multi_window(
+    const MultiWindowInstance& instance, int max_slots = 20);
+
+/// H_g = 1 + 1/2 + ... + 1/g.
+double harmonic(std::int64_t g);
+
+}  // namespace nat::at

@@ -1,0 +1,91 @@
+#include "activetime/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+std::int64_t eps_floor(double v) {
+  return static_cast<std::int64_t>(std::floor(v + kFracEps));
+}
+
+std::int64_t eps_ceil(double v) {
+  return static_cast<std::int64_t>(std::ceil(v - kFracEps));
+}
+
+RoundingResult round_solution(const LaminarForest& forest,
+                              const std::vector<double>& x,
+                              const std::vector<int>& topmost) {
+  const int m = forest.num_nodes();
+  NAT_CHECK(static_cast<int>(x.size()) == m);
+
+  RoundingResult out;
+  out.x_tilde.assign(m, 0);
+  std::vector<bool> in_topmost(m, false);
+  for (int i : topmost) in_topmost[i] = true;
+
+  // Line 1: floor on I; elsewhere x is already integral (0 or L(i)).
+  for (int i = 0; i < m; ++i) {
+    if (in_topmost[i]) {
+      out.x_tilde[i] = eps_floor(x[i]);
+    } else {
+      const std::int64_t v = eps_floor(x[i]);
+      NAT_CHECK_MSG(std::abs(x[i] - static_cast<double>(v)) < 1e-4,
+                    "node " << i << " outside I is not integral: " << x[i]);
+      out.x_tilde[i] = v;
+    }
+  }
+
+  // Anc(I), bottom to top (depth descending; inclusive of I itself).
+  std::vector<int> anc;
+  {
+    std::vector<bool> seen(m, false);
+    for (int i : topmost) {
+      for (int a = i; a >= 0; a = forest.node(a).parent) {
+        if (seen[a]) break;
+        seen[a] = true;
+        anc.push_back(a);
+      }
+    }
+    std::sort(anc.begin(), anc.end(), [&](int a, int b) {
+      return forest.depth(a) > forest.depth(b);
+    });
+  }
+
+  for (int i : anc) {
+    const std::vector<int> des = forest.subtree(i);
+    double frac_sum = 0.0;
+    std::int64_t rounded_sum = 0;
+    // Nodes of Des(i) still strictly below their fractional value,
+    // i.e. floored I-nodes with a fractional part.
+    std::vector<int> flooreds;
+    for (int d : des) {
+      frac_sum += x[d];
+      rounded_sum += out.x_tilde[d];
+      if (static_cast<double>(out.x_tilde[d]) < x[d] - kFracEps) {
+        flooreds.push_back(d);
+      }
+    }
+    while (1.8 * frac_sum >= static_cast<double>(rounded_sum) + 1.0 -
+                                 kFracEps &&
+           !flooreds.empty()) {
+      const int d = flooreds.back();
+      flooreds.pop_back();
+      const std::int64_t up = eps_ceil(x[d]);
+      rounded_sum += up - out.x_tilde[d];
+      out.x_tilde[d] = up;
+    }
+  }
+
+  for (int i = 0; i < m; ++i) {
+    NAT_CHECK_MSG(out.x_tilde[i] >= 0 &&
+                      out.x_tilde[i] <= forest.node(i).length(),
+                  "rounded count out of range at node " << i);
+    out.total += out.x_tilde[i];
+  }
+  return out;
+}
+
+}  // namespace nat::at

@@ -1,0 +1,35 @@
+// Algorithm 1: rounding the transformed fractional solution.
+//
+// Start from x̃(i) = ⌊x(i)⌋ on the topmost set I (all other nodes are
+// already integral: full descendants at L(i), empty ancestors at 0).
+// Then walk Anc(I) bottom-to-top; at each node, while the subtree's
+// rounded total stays within (9/5)·(fractional subtree total), round
+// one still-floored node of the subtree up to its ceiling. The paper
+// proves the result is feasible (Section 4) and never exceeds
+// (9/5)·x([m]) slots (Lemma 3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/lp_transform.hpp"
+#include "activetime/tree.hpp"
+
+namespace nat::at {
+
+struct RoundingResult {
+  std::vector<Time> x_tilde;  // integral open count per node
+  std::int64_t total = 0;     // Σ x̃(i)
+};
+
+/// Rounds a *transformed* solution (see push_down_transform). `topmost`
+/// must be topmost_positive(forest, x).
+RoundingResult round_solution(const LaminarForest& forest,
+                              const std::vector<double>& x,
+                              const std::vector<int>& topmost);
+
+/// Floor/ceil with kFracEps slack: eps_floor(2.9999995) == 3.
+std::int64_t eps_floor(double v);
+std::int64_t eps_ceil(double v);
+
+}  // namespace nat::at

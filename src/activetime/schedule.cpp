@@ -1,0 +1,75 @@
+#include "activetime/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+std::int64_t Schedule::active_slots() const {
+  return static_cast<std::int64_t>(active_times().size());
+}
+
+std::vector<Time> Schedule::active_times() const {
+  std::vector<Time> times;
+  for (const auto& slots : assignment) {
+    times.insert(times.end(), slots.begin(), slots.end());
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+bool is_valid_schedule(const Instance& instance, const Schedule& schedule,
+                       std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (schedule.assignment.size() != instance.jobs.size()) {
+    return fail("assignment size mismatch");
+  }
+  std::map<Time, std::int64_t> load;
+  for (std::size_t j = 0; j < instance.jobs.size(); ++j) {
+    const Job& job = instance.jobs[j];
+    const auto& slots = schedule.assignment[j];
+    if (static_cast<std::int64_t>(slots.size()) != job.processing) {
+      std::ostringstream os;
+      os << "job " << j << ": got " << slots.size() << " slots, needs "
+         << job.processing;
+      return fail(os.str());
+    }
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (k > 0 && slots[k] <= slots[k - 1]) {
+        std::ostringstream os;
+        os << "job " << j << ": slots not strictly increasing";
+        return fail(os.str());
+      }
+      if (!job.window().contains(slots[k])) {
+        std::ostringstream os;
+        os << "job " << j << ": slot " << slots[k] << " outside window "
+           << job.window();
+        return fail(os.str());
+      }
+      ++load[slots[k]];
+    }
+  }
+  for (const auto& [t, l] : load) {
+    if (l > instance.g) {
+      std::ostringstream os;
+      os << "slot " << t << ": load " << l << " exceeds g=" << instance.g;
+      return fail(os.str());
+    }
+  }
+  return true;
+}
+
+void validate_schedule(const Instance& instance, const Schedule& schedule) {
+  std::string why;
+  NAT_CHECK_MSG(is_valid_schedule(instance, schedule, &why),
+                "invalid schedule: " << why);
+}
+
+}  // namespace nat::at

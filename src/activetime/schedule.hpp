@@ -1,0 +1,33 @@
+// Schedule representation and validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "activetime/instance.hpp"
+
+namespace nat::at {
+
+/// A concrete schedule: for each job, the sorted distinct slot times it
+/// runs at. A slot is active iff some job runs at it.
+struct Schedule {
+  std::vector<std::vector<Time>> assignment;  // one entry per job
+
+  /// Number of distinct active slot times.
+  std::int64_t active_slots() const;
+  /// Sorted distinct active slot times.
+  std::vector<Time> active_times() const;
+};
+
+/// Checks that `schedule` is feasible for `instance`:
+/// every job gets exactly p_j distinct slots inside its window, and no
+/// slot carries more than g jobs. Returns false and fills `why` (if
+/// non-null) on the first violation found.
+bool is_valid_schedule(const Instance& instance, const Schedule& schedule,
+                       std::string* why = nullptr);
+
+/// Throwing variant of is_valid_schedule (util::CheckError).
+void validate_schedule(const Instance& instance, const Schedule& schedule);
+
+}  // namespace nat::at

@@ -1,0 +1,132 @@
+#include "activetime/solver.hpp"
+
+#include <algorithm>
+
+#include "activetime/feasibility.hpp"
+#include "activetime/lp_transform.hpp"
+#include "activetime/rounding.hpp"
+#include "lp/bounded_simplex.hpp"
+#include "lp/dense_simplex.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+/// Opens additional region slots until the rounded vector is
+/// flow-feasible. Only ever triggered by floating-point slack in the
+/// LP; returns the number of increments.
+int repair_counts(const LaminarForest& forest, std::vector<Time>& counts) {
+  int repairs = 0;
+  std::int64_t budget = 0;  // remaining closed slots; bounds the loop
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    budget += forest.node(i).length() - counts[i];
+  }
+  while (!feasible_with_counts(forest, counts)) {
+    // Prefer an increment that fixes feasibility outright; otherwise
+    // open any closable slot — all-open is feasible, so this makes
+    // progress toward a feasible vector.
+    int chosen = -1;
+    for (int i = 0; i < forest.num_nodes(); ++i) {
+      if (counts[i] >= forest.node(i).length()) continue;
+      if (chosen < 0) chosen = i;
+      ++counts[i];
+      const bool fixed = feasible_with_counts(forest, counts);
+      --counts[i];
+      if (fixed) {
+        chosen = i;
+        break;
+      }
+    }
+    NAT_CHECK_MSG(chosen >= 0, "repair: no region can be opened further");
+    ++counts[chosen];
+    ++repairs;
+    NAT_CHECK_MSG(repairs <= budget, "repair loop failed to converge");
+  }
+  return repairs;
+}
+
+}  // namespace
+
+NestedSolveResult solve_nested(const Instance& instance,
+                               const NestedSolverOptions& options) {
+  NestedSolveResult result;
+  if (instance.jobs.empty()) return result;
+
+  LaminarForest forest = LaminarForest::build(instance);
+  forest.canonicalize();
+
+  // Feasibility of the instance itself (all regions fully open).
+  {
+    std::vector<Time> full(forest.num_nodes());
+    for (int i = 0; i < forest.num_nodes(); ++i) {
+      full[i] = forest.node(i).length();
+    }
+    NAT_CHECK_MSG(feasible_with_counts(forest, full),
+                  "instance is infeasible");
+  }
+
+  StrongLp lp = build_strong_lp(forest, options.lp);
+  lp::Solution lps = options.bounded_lp_backend ? lp::solve_bounded(lp.model)
+                                                : lp::solve(lp.model);
+  NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
+                "strong LP did not solve: " << lp::to_string(lps.status));
+  result.lp_value = lps.objective;
+  result.lp_iterations = lps.iterations;
+
+  FractionalSolution frac = unpack(lp, lps);
+
+  if (options.naive_rounding) {
+    result.x_rounded.resize(forest.num_nodes());
+    for (int i = 0; i < forest.num_nodes(); ++i) {
+      result.x_rounded[i] =
+          std::min<Time>(eps_ceil(frac.x[i]), forest.node(i).length());
+    }
+    result.x_fractional = frac.x;
+  } else {
+    push_down_transform(forest, lp, frac);
+    result.x_fractional = frac.x;
+    result.topmost = topmost_positive(forest, frac.x);
+    RoundingResult rounded = round_solution(forest, frac.x, result.topmost);
+    result.x_rounded = std::move(rounded.x_tilde);
+  }
+
+  result.repairs = repair_counts(forest, result.x_rounded);
+
+  if (options.trim_rounded) {
+    // One pass suffices for minimality: feasibility is monotone in the
+    // counts, so a slot that cannot be closed now never becomes
+    // closable after further removals.
+    for (int i = 0; i < forest.num_nodes(); ++i) {
+      while (result.x_rounded[i] > 0) {
+        --result.x_rounded[i];
+        if (feasible_with_counts(forest, result.x_rounded)) continue;
+        ++result.x_rounded[i];
+        break;
+      }
+    }
+  }
+
+  auto schedule = schedule_with_counts(forest, result.x_rounded);
+  NAT_CHECK_MSG(schedule.has_value(), "post-repair extraction failed");
+  result.schedule = std::move(*schedule);
+  // The canonical forest only ever shrinks job windows, so the
+  // schedule is feasible for the original instance too.
+  validate_schedule(instance, result.schedule);
+  result.active_slots = result.schedule.active_slots();
+  return result;
+}
+
+double strong_lp_value(const Instance& instance,
+                       const StrongLpOptions& options) {
+  if (instance.jobs.empty()) return 0.0;
+  LaminarForest forest = LaminarForest::build(instance);
+  forest.canonicalize();
+  StrongLp lp = build_strong_lp(forest, options);
+  lp::Solution lps = lp::solve(lp.model);
+  NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
+                "strong LP did not solve: " << lp::to_string(lps.status));
+  return lps.objective;
+}
+
+}  // namespace nat::at

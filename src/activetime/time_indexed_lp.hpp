@@ -1,0 +1,62 @@
+// Time-indexed LP relaxations for general active-time instances:
+//
+//  * the *natural* LP (x(t) per slot, y(t,j) assignments) whose
+//    integrality gap is 2 (Section 1 of the paper);
+//  * the Călinescu–Wang LP (Figure 3), which adds ceiling rows
+//      Σ_{t∈I} x(t) >= ⌈Σ_j q_j(I) / g⌉
+//    over intervals I, where q_j(I) is the volume job j is forced to
+//    place inside I even with everything outside I open.
+//
+// Jobs with identical (window, processing) are aggregated into
+// symmetric classes (same argument as the tree LP builder). The slot
+// set is the instance horizon; interval generation can be restricted
+// to event-aligned endpoints (releases/deadlines) to keep row counts
+// manageable — the full set is O(T²).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "lp/dense_simplex.hpp"
+#include "lp/model.hpp"
+
+namespace nat::at {
+
+enum class CeilingIntervals {
+  kNone,          // natural LP
+  kEventAligned,  // endpoints restricted to {r_j} ∪ {d_j}
+  kAll,           // every [t1, t2) within the horizon
+};
+
+struct TimeIndexedClass {
+  Job job;        // representative (window + processing)
+  int count = 0;  // number of identical jobs aggregated
+  // (slot index into `slots`, model variable) for each window slot.
+  std::vector<std::pair<int, int>> y_vars;
+};
+
+struct TimeIndexedLp {
+  lp::Model model;
+  std::vector<Time> slots;   // horizon slot times, index-aligned with x_var
+  std::vector<int> x_var;    // one per slot
+  std::vector<TimeIndexedClass> classes;
+  int num_ceiling_rows = 0;
+};
+
+/// Builds the natural LP (`intervals == kNone`) or the CW LP.
+TimeIndexedLp build_time_indexed_lp(
+    const Instance& instance,
+    CeilingIntervals intervals = CeilingIntervals::kNone);
+
+/// q_j(I): volume job j must place inside I even if every slot outside
+/// I is open: max(0, p_j - |window_j \ I|).
+std::int64_t forced_volume(const Job& job, const Interval& interval);
+
+/// Convenience: optimum of the natural LP.
+double natural_lp_value(const Instance& instance);
+/// Convenience: optimum of the CW LP with the given interval set.
+double cw_lp_value(const Instance& instance,
+                   CeilingIntervals intervals = CeilingIntervals::kAll);
+
+}  // namespace nat::at

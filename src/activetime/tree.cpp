@@ -1,0 +1,283 @@
+#include "activetime/tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+/// Subtracts the (sorted, disjoint) child intervals from `outer`,
+/// returning the leftover ranges.
+std::vector<Interval> subtract_children(const Interval& outer,
+                                        std::vector<Interval> children) {
+  std::sort(children.begin(), children.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> owned;
+  Time cursor = outer.lo;
+  for (const Interval& c : children) {
+    NAT_CHECK_MSG(c.lo >= cursor && c.hi <= outer.hi,
+                  "child interval " << c << " escapes parent " << outer);
+    if (c.lo > cursor) owned.push_back(Interval{cursor, c.lo});
+    cursor = c.hi;
+  }
+  if (cursor < outer.hi) owned.push_back(Interval{cursor, outer.hi});
+  return owned;
+}
+
+}  // namespace
+
+LaminarForest LaminarForest::build(const Instance& instance) {
+  instance.validate();
+  NAT_CHECK_MSG(instance.is_laminar(), "instance is not laminar");
+
+  LaminarForest f;
+  f.g_ = instance.g;
+  f.jobs_ = instance.jobs;
+  f.job_node_.assign(f.jobs_.size(), -1);
+
+  // Distinct windows, sorted so that ancestors precede descendants:
+  // by lo ascending, then hi descending.
+  std::map<std::pair<Time, Time>, int> window_node;
+  std::vector<Interval> windows;
+  for (const Job& job : f.jobs_) {
+    auto key = std::make_pair(job.release, job.deadline);
+    if (window_node.emplace(key, -1).second) {
+      windows.push_back(job.window());
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi > b.hi;
+            });
+
+  // Stack-based nesting: the stack holds the chain of currently-open
+  // ancestors. Laminarity guarantees each window either nests in the
+  // top of the stack or is disjoint from it.
+  std::vector<int> stack;
+  for (const Interval& w : windows) {
+    while (!stack.empty() && !w.inside(f.nodes_[stack.back()].interval)) {
+      NAT_CHECK_MSG(w.disjoint(f.nodes_[stack.back()].interval),
+                    "windows cross: " << w << " vs "
+                                      << f.nodes_[stack.back()].interval);
+      stack.pop_back();
+    }
+    TreeNode n;
+    n.interval = w;
+    n.parent = stack.empty() ? -1 : stack.back();
+    int id = static_cast<int>(f.nodes_.size());
+    f.nodes_.push_back(std::move(n));
+    if (f.nodes_[id].parent >= 0) {
+      f.nodes_[f.nodes_[id].parent].children.push_back(id);
+    } else {
+      f.roots_.push_back(id);
+    }
+    stack.push_back(id);
+    window_node[{w.lo, w.hi}] = id;
+  }
+
+  for (std::size_t j = 0; j < f.jobs_.size(); ++j) {
+    int node = window_node.at({f.jobs_[j].release, f.jobs_[j].deadline});
+    f.job_node_[j] = node;
+    f.nodes_[node].jobs.push_back(static_cast<int>(j));
+  }
+
+  // Owned (exclusive) regions.
+  for (TreeNode& n : f.nodes_) {
+    std::vector<Interval> child_ivs;
+    for (int c : n.children) child_ivs.push_back(f.nodes_[c].interval);
+    n.owned = subtract_children(n.interval, std::move(child_ivs));
+  }
+
+  f.rebuild_indices();
+  return f;
+}
+
+int LaminarForest::add_node(TreeNode n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void LaminarForest::canonicalize() {
+  // --- Step 1: binarize. A node with t > 2 children gets a left-deep
+  // chain of virtual nodes grouping its children two at a time (in time
+  // order). Virtual nodes carry no jobs and own no slots.
+  const int original_count = num_nodes();
+  for (int i = 0; i < original_count; ++i) {
+    if (static_cast<int>(nodes_[i].children.size()) <= 2) continue;
+    std::vector<int> kids = nodes_[i].children;
+    std::sort(kids.begin(), kids.end(), [this](int a, int b) {
+      return nodes_[a].interval.lo < nodes_[b].interval.lo;
+    });
+    // Fold children left to right: v1 = (c1, c2), v2 = (v1, c3), ...
+    // until two subtrees remain under i.
+    int acc = kids[0];
+    for (std::size_t k = 1; k + 1 < kids.size(); ++k) {
+      TreeNode v;
+      v.is_virtual = true;
+      v.interval = Interval{
+          std::min(nodes_[acc].interval.lo, nodes_[kids[k]].interval.lo),
+          std::max(nodes_[acc].interval.hi, nodes_[kids[k]].interval.hi)};
+      v.children = {acc, kids[k]};
+      int vid = add_node(std::move(v));
+      nodes_[acc].parent = vid;
+      nodes_[kids[k]].parent = vid;
+      acc = vid;
+    }
+    nodes_[i].children = {acc, kids.back()};
+    nodes_[acc].parent = i;
+    nodes_[kids.back()].parent = i;
+  }
+
+  // --- Step 2: rigid leaves. For a leaf whose longest job p* is
+  // shorter than L(i), split off a child covering the leaf's first p*
+  // slots and shrink that job's window to it.
+  const int after_binarize = num_nodes();
+  for (int i = 0; i < after_binarize; ++i) {
+    if (!nodes_[i].children.empty()) continue;
+    NAT_CHECK_MSG(!nodes_[i].jobs.empty(), "leaf without jobs");
+    int longest = nodes_[i].jobs.front();
+    for (int j : nodes_[i].jobs) {
+      if (jobs_[j].processing > jobs_[longest].processing) longest = j;
+    }
+    const Time pstar = jobs_[longest].processing;
+    const Time len = nodes_[i].length();
+    NAT_CHECK_MSG(pstar <= len, "leaf shorter than its longest job");
+    if (pstar == len) continue;  // already rigid
+
+    const Interval leaf_iv = nodes_[i].interval;
+    TreeNode c;
+    c.interval = Interval{leaf_iv.lo, leaf_iv.lo + pstar};
+    c.parent = i;
+    c.owned = {c.interval};
+    int cid = add_node(std::move(c));
+    nodes_[i].children = {cid};
+    nodes_[i].owned = {Interval{leaf_iv.lo + pstar, leaf_iv.hi}};
+
+    // Move the longest job (and every other job sharing its original
+    // window that we choose to keep at i — only `longest` moves, per
+    // the paper) down to the new rigid leaf.
+    jobs_[longest].release = nodes_[cid].interval.lo;
+    jobs_[longest].deadline = nodes_[cid].interval.hi;
+    auto& leaf_jobs = nodes_[i].jobs;
+    leaf_jobs.erase(std::find(leaf_jobs.begin(), leaf_jobs.end(), longest));
+    nodes_[cid].jobs.push_back(longest);
+    job_node_[longest] = cid;
+    // The parent may have lost all jobs if `longest` was its only one;
+    // that is fine: rigidity is only required of leaves, and i is now
+    // internal. (A job-less internal real node behaves like a virtual
+    // node that owns slots.)
+  }
+
+  rebuild_indices();
+  NAT_DCHECK(is_canonical());
+}
+
+void LaminarForest::rebuild_indices() {
+  const int m = num_nodes();
+  depth_.assign(m, 0);
+  tin_.assign(m, -1);
+  tout_.assign(m, -1);
+  postorder_.clear();
+  postorder_.reserve(m);
+  roots_.clear();
+  for (int i = 0; i < m; ++i) {
+    if (nodes_[i].parent < 0) roots_.push_back(i);
+  }
+  std::sort(roots_.begin(), roots_.end(), [this](int a, int b) {
+    return nodes_[a].interval.lo < nodes_[b].interval.lo;
+  });
+  int clock = 0;
+  // Iterative DFS (enter/exit events).
+  for (int root : roots_) {
+    std::vector<std::pair<int, bool>> work{{root, false}};
+    while (!work.empty()) {
+      auto [v, exiting] = work.back();
+      work.pop_back();
+      if (exiting) {
+        tout_[v] = clock++;
+        postorder_.push_back(v);
+        continue;
+      }
+      tin_[v] = clock++;
+      work.emplace_back(v, true);
+      for (auto it = nodes_[v].children.rbegin();
+           it != nodes_[v].children.rend(); ++it) {
+        depth_[*it] = depth_[v] + 1;
+        work.emplace_back(*it, false);
+      }
+    }
+  }
+}
+
+bool LaminarForest::is_ancestor(int a, int d) const {
+  return tin_.at(a) <= tin_.at(d) && tout_.at(d) <= tout_.at(a);
+}
+
+std::vector<int> LaminarForest::subtree(int i) const {
+  std::vector<int> out;
+  std::vector<int> work{i};
+  while (!work.empty()) {
+    int v = work.back();
+    work.pop_back();
+    out.push_back(v);
+    for (auto it = nodes_[v].children.rbegin();
+         it != nodes_[v].children.rend(); ++it) {
+      work.push_back(*it);
+    }
+  }
+  return out;
+}
+
+void LaminarForest::check_invariants() const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    const TreeNode& n = nodes_[i];
+    for (int c : n.children) {
+      NAT_CHECK(nodes_[c].parent == i);
+      NAT_CHECK(nodes_[c].interval.inside(n.interval));
+    }
+    if (n.parent >= 0) {
+      const auto& sib = nodes_[n.parent].children;
+      NAT_CHECK(std::find(sib.begin(), sib.end(), i) != sib.end());
+    }
+    for (const Interval& iv : n.owned) {
+      NAT_CHECK(!iv.empty());
+      NAT_CHECK(iv.inside(n.interval));
+    }
+    if (!n.is_virtual && n.children.empty()) {
+      NAT_CHECK_MSG(!n.jobs.empty(), "non-virtual leaf without jobs");
+    }
+    for (int j : n.jobs) {
+      NAT_CHECK(job_node_.at(j) == i);
+      NAT_CHECK(jobs_.at(j).window() == n.interval);
+    }
+  }
+  // Owned regions of a subtree partition the root interval.
+  for (int root : roots_) {
+    Time owned_total = 0;
+    for (int v : subtree(root)) owned_total += nodes_[v].length();
+    NAT_CHECK_MSG(owned_total == nodes_[root].interval.length(),
+                  "owned regions do not partition root interval");
+  }
+}
+
+bool LaminarForest::is_canonical() const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    const TreeNode& n = nodes_[i];
+    if (n.children.size() > 2) return false;
+    if (n.children.empty()) {
+      if (n.jobs.empty()) return false;
+      Time longest = 0;
+      for (int j : n.jobs) {
+        longest = std::max<Time>(longest, jobs_[j].processing);
+      }
+      if (longest != n.length()) return false;  // leaf not rigid
+    }
+  }
+  return true;
+}
+
+}  // namespace nat::at

@@ -1,0 +1,101 @@
+// Laminar forest of job windows (Section 2 of the paper).
+//
+// Each node corresponds to a distinct job window K(i); node i' is a
+// child of i when K(i') ⊊ K(i) with nothing strictly between. Jobs map
+// to the node with their exact window (k(j)).
+//
+// Canonicalization (Definition 2.1) makes the forest binary and every
+// leaf rigid:
+//   * binarize: a node with t > 2 children gets virtual internal nodes
+//     (no jobs, zero exclusive length) grouping adjacent children;
+//   * rigid leaves: a leaf whose longest job is shorter than its
+//     exclusive length gets a child covering the leaf's first p* slots,
+//     and that longest job's window shrinks to the child (solution-
+//     preserving, as argued in the paper).
+//
+// Because a virtual node's hull interval may cover gaps between its
+// children, slot ownership is tracked explicitly: each node owns the
+// concrete slot ranges of its *exclusive region* (K(i) minus children
+// regions for real nodes; nothing for virtual nodes). L(i) is the total
+// owned length. All solvers reason about per-region open counts and
+// materialize concrete slots from the owned ranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/instance.hpp"
+
+namespace nat::at {
+
+struct TreeNode {
+  Interval interval;            // K(i) (hull for virtual nodes)
+  int parent = -1;
+  std::vector<int> children;
+  std::vector<int> jobs;        // job indices with k(j) == this node
+  std::vector<Interval> owned;  // exclusive slot ranges, sorted, disjoint
+  bool is_virtual = false;
+
+  /// L(i): number of slots in the exclusive region.
+  Time length() const {
+    Time total = 0;
+    for (const Interval& iv : owned) total += iv.length();
+    return total;
+  }
+};
+
+class LaminarForest {
+ public:
+  /// Builds the window forest of a laminar instance. NAT_CHECKs
+  /// laminarity (call Instance::is_laminar() first for a soft test).
+  static LaminarForest build(const Instance& instance);
+
+  /// Applies the canonicalization above. Job windows may shrink; the
+  /// forest keeps its own job list (windows only ever shrink, so any
+  /// schedule for the canonical jobs is valid for the originals).
+  void canonicalize();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const TreeNode& node(int i) const { return nodes_.at(i); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  const std::vector<int>& roots() const { return roots_; }
+
+  std::int64_t g() const { return g_; }
+  /// Jobs as the forest sees them (post-canonicalization windows).
+  const std::vector<Job>& jobs() const { return jobs_; }
+  /// k(j): the node owning job j's window.
+  int node_of_job(int j) const { return job_node_.at(j); }
+
+  /// True iff a ∈ Anc(d) (inclusive: is_ancestor(i, i) is true).
+  bool is_ancestor(int a, int d) const;
+  int depth(int i) const { return depth_.at(i); }
+
+  /// All nodes, children before parents (roots last).
+  const std::vector<int>& postorder() const { return postorder_; }
+  /// Des(i), inclusive, in preorder.
+  std::vector<int> subtree(int i) const;
+
+  /// Sanity invariants (used by tests and NAT_DCHECK'd internally):
+  /// tree shape consistent, owned regions partition root intervals,
+  /// every non-virtual node has >= 1 job, jobs sit at the right node.
+  void check_invariants() const;
+
+  /// True iff every leaf is rigid and every node has <= 2 children.
+  bool is_canonical() const;
+
+ private:
+  void rebuild_indices();  // depth, Euler tin/tout, postorder
+  int add_node(TreeNode n);
+
+  std::vector<TreeNode> nodes_;
+  std::vector<int> roots_;
+  std::vector<Job> jobs_;
+  std::vector<int> job_node_;
+  std::int64_t g_ = 1;
+
+  std::vector<int> depth_;
+  std::vector<int> tin_, tout_;
+  std::vector<int> postorder_;
+};
+
+}  // namespace nat::at

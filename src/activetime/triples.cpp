@@ -1,0 +1,136 @@
+#include "activetime/triples.hpp"
+
+#include <algorithm>
+
+#include "activetime/lp_transform.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+
+namespace {
+
+/// The other child of i's parent, or -1.
+int brother(const LaminarForest& forest, int i) {
+  const int p = forest.node(i).parent;
+  if (p < 0) return -1;
+  for (int c : forest.node(p).children) {
+    if (c != i) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+TripleAnalysis build_triples(const LaminarForest& forest,
+                             const std::vector<double>& x,
+                             const std::vector<Time>& x_tilde,
+                             const std::vector<int>& topmost) {
+  const int m = forest.num_nodes();
+  TripleAnalysis out;
+  out.type.assign(m, NodeType::kNotInI);
+
+  auto subtree_x = [&](int i) {
+    double s = 0.0;
+    for (int d : forest.subtree(i)) s += x[d];
+    return s;
+  };
+  auto subtree_xt = [&](int i) {
+    Time s = 0;
+    for (int d : forest.subtree(i)) s += x_tilde[d];
+    return s;
+  };
+
+  for (int i : topmost) {
+    const double sx = subtree_x(i);
+    if (sx > 1.0 + kFracEps && sx < 4.0 / 3.0 - kFracEps) {
+      const Time sxt = subtree_xt(i);
+      if (sxt == 1) {
+        out.type[i] = NodeType::kC1;
+        ++out.num_c1;
+      } else {
+        NAT_CHECK_MSG(sxt == 2, "type-C node with x~(Des) = " << sxt);
+        out.type[i] = NodeType::kC2;
+        ++out.num_c2;
+      }
+    } else {
+      out.type[i] = NodeType::kB;
+      ++out.num_b;
+    }
+  }
+
+  // Algorithm 2. Process Anc(I) nodes with >= 3 topmost descendants
+  // bottom-to-top; greedily cover each uncovered C1 with two unused C2s
+  // from the same subtree, honoring C1C2 brother pairs.
+  std::vector<bool> covered(m, false), used(m, false);
+  std::vector<int> anc;
+  {
+    std::vector<bool> seen(m, false);
+    for (int i : topmost) {
+      for (int a = i; a >= 0; a = forest.node(a).parent) {
+        if (seen[a]) break;
+        seen[a] = true;
+        anc.push_back(a);
+      }
+    }
+    std::sort(anc.begin(), anc.end(), [&](int a, int b) {
+      return forest.depth(a) > forest.depth(b);
+    });
+  }
+  std::vector<bool> in_topmost(m, false);
+  for (int i : topmost) in_topmost[i] = true;
+
+  for (int a : anc) {
+    const std::vector<int> des = forest.subtree(a);
+    int topmost_in_des = 0;
+    for (int d : des) topmost_in_des += in_topmost[d] ? 1 : 0;
+    if (topmost_in_des < 3) continue;
+
+    for (;;) {
+      // An uncovered C1 in Des(a).
+      int i1 = -1;
+      for (int d : des) {
+        if (out.type[d] == NodeType::kC1 && !covered[d]) {
+          i1 = d;
+          break;
+        }
+      }
+      if (i1 < 0) break;
+
+      auto is_free_c2 = [&](int d) {
+        return out.type[d] == NodeType::kC2 && !used[d];
+      };
+      // Honor the brother pair: if i1's brother is an unused C2, it
+      // must be i2.
+      int i2 = -1;
+      const int bro = brother(forest, i1);
+      if (bro >= 0 && is_free_c2(bro)) i2 = bro;
+      // Remaining picks must not steal the C2 brother of another
+      // uncovered C1 unless nothing else is available.
+      auto pick = [&](int exclude1, int exclude2) {
+        int fallback = -1;
+        for (int d : des) {
+          if (!is_free_c2(d) || d == exclude1 || d == exclude2) continue;
+          const int b = brother(forest, d);
+          const bool paired =
+              b >= 0 && out.type[b] == NodeType::kC1 && !covered[b];
+          if (!paired) return d;
+          if (fallback < 0) fallback = d;
+        }
+        return fallback;
+      };
+      if (i2 < 0) i2 = pick(i1, -1);
+      int i3 = pick(i1, i2);
+      if (i2 < 0 || i3 < 0) {
+        out.ran_out_of_c2 = true;  // Lemma 4.9 says this cannot happen
+        return out;
+      }
+      covered[i1] = true;
+      used[i2] = true;
+      used[i3] = true;
+      out.triples.push_back({i1, i2, i3});
+    }
+  }
+  return out;
+}
+
+}  // namespace nat::at

@@ -1,0 +1,38 @@
+// Algorithm 2: construction of C1/C2 triples.
+//
+// This is *analysis* machinery — the paper uses it only to prove the
+// rounded vector feasible (Section 4) — but building it executably
+// lets the test suite check the structural lemmas on real LP runs:
+//   * node classification: type-B when x(Des(i)) ∈ {1} ∪ [4/3, ∞),
+//     type-C when x(Des(i)) ∈ (1, 4/3), subdivided into C1/C2 by the
+//     rounded subtree total x̃(Des(i)) ∈ {1, 2};
+//   * Lemma 4.7: with ≤2 type-C nodes and ≥1 type-B, every C is C2;
+//   * Lemma 4.9: the pairing never runs out of unused C2 nodes;
+//   * Lemma 4.11: each triple is either two C2s under the C1's parent,
+//     or a C1C2 brother pair plus a C2 under the grandparent.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "activetime/tree.hpp"
+
+namespace nat::at {
+
+enum class NodeType { kNotInI, kB, kC1, kC2 };
+
+struct TripleAnalysis {
+  std::vector<NodeType> type;                 // per tree node
+  std::vector<std::array<int, 3>> triples;    // (C1, C2, C2)
+  bool ran_out_of_c2 = false;                 // Lemma 4.9 would be violated
+  int num_b = 0, num_c1 = 0, num_c2 = 0;
+};
+
+/// Classifies the topmost nodes and runs Algorithm 2 on a transformed
+/// + rounded solution.
+TripleAnalysis build_triples(const LaminarForest& forest,
+                             const std::vector<double>& x,
+                             const std::vector<Time>& x_tilde,
+                             const std::vector<int>& topmost);
+
+}  // namespace nat::at

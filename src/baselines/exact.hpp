@@ -1,0 +1,53 @@
+// Exact optimum for small instances (the OPT oracle behind every
+// approximation-ratio table).
+//
+// The nested problem is NP-complete (Section 6 of the paper), so this
+// is a branch-and-bound over per-region open counts of the canonical
+// laminar forest:
+//   * slots inside one exclusive region are interchangeable, collapsing
+//     the 2^T slot subsets to Π(L(i)+1) count vectors;
+//   * K is swept upward from a lower bound (first feasible K = OPT);
+//   * pruning: per-subtree lower bounds (volume, longest job) and a
+//     relaxation flow test (assigned regions at their counts, remaining
+//     regions fully open).
+//
+// A slot-subset brute force over tiny horizons cross-checks the B&B in
+// tests and also serves non-laminar instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/schedule.hpp"
+
+namespace nat::at::baselines {
+
+struct ExactOptions {
+  // Abort (return nullopt) after visiting this many search nodes.
+  std::int64_t node_budget = 20'000'000;
+};
+
+struct ExactResult {
+  std::int64_t optimum = 0;
+  Schedule schedule;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Exact OPT for a laminar instance; nullopt if the budget ran out.
+std::optional<ExactResult> exact_opt_laminar(const Instance& instance,
+                                             const ExactOptions& options = {});
+
+/// Exact OPT by slot-subset enumeration; requires a horizon of at most
+/// `max_horizon` slots. Works for any (also non-laminar) instance.
+std::optional<std::int64_t> exact_opt_brute_force(const Instance& instance,
+                                                  int max_horizon = 22);
+
+/// Closed-form OPT for instances whose jobs all share one window:
+/// max(ceil(volume / g), max_j p_j). Sufficiency follows from the cut
+/// condition (each job fits in S slots, total fits in g*S); necessity
+/// is immediate. NAT_CHECKs the common-window precondition.
+std::int64_t exact_opt_common_window(const Instance& instance);
+
+}  // namespace nat::at::baselines

@@ -1,0 +1,108 @@
+#include "baselines/greedy.hpp"
+
+#include <algorithm>
+
+#include "activetime/feasibility.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nat::at::baselines {
+
+const char* to_string(DeactivationOrder order) {
+  switch (order) {
+    case DeactivationOrder::kLeftToRight: return "left-to-right";
+    case DeactivationOrder::kRightToLeft: return "right-to-left";
+    case DeactivationOrder::kRandom: return "random";
+    case DeactivationOrder::kSparsestFirst: return "sparsest-first";
+    case DeactivationOrder::kDensestFirst: return "densest-first";
+  }
+  return "?";
+}
+
+GreedyResult greedy_minimal_feasible(const Instance& instance,
+                                     DeactivationOrder order,
+                                     std::uint64_t seed) {
+  instance.validate();
+  // Candidate slots: union of job windows.
+  std::vector<Time> open;
+  for (const Job& job : instance.jobs) {
+    for (Time t = job.release; t < job.deadline; ++t) open.push_back(t);
+  }
+  std::sort(open.begin(), open.end());
+  open.erase(std::unique(open.begin(), open.end()), open.end());
+  NAT_CHECK_MSG(feasible_with_slots(instance, open),
+                "greedy: instance is infeasible");
+
+  std::vector<Time> scan = open;
+  switch (order) {
+    case DeactivationOrder::kLeftToRight:
+      break;
+    case DeactivationOrder::kRightToLeft:
+      std::reverse(scan.begin(), scan.end());
+      break;
+    case DeactivationOrder::kRandom: {
+      util::Rng rng(seed);
+      for (std::size_t i = scan.size(); i > 1; --i) {
+        std::swap(scan[i - 1],
+                  scan[static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(i) - 1))]);
+      }
+      break;
+    }
+    case DeactivationOrder::kSparsestFirst:
+    case DeactivationOrder::kDensestFirst: {
+      // Number of job windows covering each slot; stable sort keeps
+      // the left-to-right order within equal densities.
+      auto density = [&instance](Time t) {
+        std::int64_t d = 0;
+        for (const Job& job : instance.jobs) {
+          d += job.window().contains(t) ? 1 : 0;
+        }
+        return d;
+      };
+      std::vector<std::pair<std::int64_t, Time>> keyed;
+      keyed.reserve(scan.size());
+      for (Time t : scan) keyed.push_back({density(t), t});
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [order](const auto& a, const auto& b) {
+                         return order == DeactivationOrder::kSparsestFirst
+                                    ? a.first < b.first
+                                    : a.first > b.first;
+                       });
+      for (std::size_t k = 0; k < scan.size(); ++k) scan[k] = keyed[k].second;
+      break;
+    }
+  }
+
+  for (Time t : scan) {
+    std::vector<Time> without;
+    without.reserve(open.size() - 1);
+    for (Time u : open) {
+      if (u != t) without.push_back(u);
+    }
+    if (feasible_with_slots(instance, without)) open = std::move(without);
+  }
+
+  GreedyResult result;
+  result.open_slots = open;
+  auto sched = schedule_with_slots(instance, open);
+  NAT_CHECK(sched.has_value());
+  result.schedule = std::move(*sched);
+  result.active_slots = result.schedule.active_slots();
+  return result;
+}
+
+bool is_minimal_feasible(const Instance& instance,
+                         const std::vector<Time>& open_slots) {
+  if (!feasible_with_slots(instance, open_slots)) return false;
+  for (Time t : open_slots) {
+    std::vector<Time> without;
+    for (Time u : open_slots) {
+      if (u != t) without.push_back(u);
+    }
+    if (feasible_with_slots(instance, without)) return false;
+  }
+  return true;
+}
+
+}  // namespace nat::at::baselines

@@ -1,0 +1,55 @@
+#include "baselines/online.hpp"
+
+#include <algorithm>
+
+#include "activetime/feasibility.hpp"
+#include "util/check.hpp"
+
+namespace nat::at::baselines {
+
+OnlineResult lazy_online(const Instance& instance) {
+  instance.validate();
+  OnlineResult result;
+  if (instance.jobs.empty()) return result;
+  const Interval horizon = instance.horizon();
+
+  {
+    std::vector<Time> all;
+    for (Time t = horizon.lo; t < horizon.hi; ++t) all.push_back(t);
+    NAT_CHECK_MSG(feasible_with_slots(instance, all),
+                  "lazy_online: instance is infeasible");
+  }
+
+  std::vector<Time> chosen;
+  for (Time t = horizon.lo; t < horizon.hi; ++t) {
+    // Jobs visible at time t.
+    Instance known;
+    known.g = instance.g;
+    for (const Job& job : instance.jobs) {
+      if (job.release <= t) known.jobs.push_back(job);
+    }
+    if (known.jobs.empty()) continue;
+    // Can the visible jobs still finish if slot t stays dark?
+    std::vector<Time> without = chosen;
+    for (Time u = t + 1; u < horizon.hi; ++u) without.push_back(u);
+    if (!feasible_with_slots(known, without)) {
+      chosen.push_back(t);
+    }
+  }
+
+  auto sched = schedule_with_slots(instance, chosen);
+  result.open_slots = std::move(chosen);
+  if (!sched.has_value()) {
+    // Laziness was punished: an arrival made a previously-declined
+    // slot essential (see the header for the impossibility argument).
+    result.feasible = false;
+    result.active_slots =
+        static_cast<std::int64_t>(result.open_slots.size());
+    return result;
+  }
+  result.schedule = std::move(*sched);
+  result.active_slots = result.schedule.active_slots();
+  return result;
+}
+
+}  // namespace nat::at::baselines

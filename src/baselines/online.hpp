@@ -1,0 +1,43 @@
+// Online lazy-activation heuristic — and a demonstration of why
+// laziness is not feasibility-safe under online arrivals.
+//
+// Model: time advances slot by slot; the algorithm sees only jobs
+// already released and must irrevocably decide whether to power the
+// current slot. The lazy rule activates slot t exactly when the jobs
+// known so far could no longer finish using the already-activated
+// past plus every future slot.
+//
+// The rule is safe against the jobs it knows, but a later arrival can
+// crowd the shared future: with g = 1, defer slot 0 for job A
+// (p=2, window [0,4)) — justified, A fits in [1,4) — then job B
+// (p=2, window [1,4)) arrives and the remaining capacity 3 < demand 4
+// is unfixable, even though the full instance was feasible. The same
+// trap defeats *every* online rule that ever declines a slot an
+// adversary can later make essential, which is why the online
+// literature the paper's survey cites works in relaxed models. We keep
+// the heuristic as an honest baseline: results carry a `feasible`
+// flag, and the experiment measures both the activation cost and the
+// failure rate (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/schedule.hpp"
+
+namespace nat::at::baselines {
+
+struct OnlineResult {
+  bool feasible = true;          // false: laziness was punished
+  std::vector<Time> open_slots;  // decisions actually made
+  Schedule schedule;             // valid only when feasible
+  std::int64_t active_slots = 0;
+};
+
+/// Runs the lazy online heuristic over the instance horizon.
+/// NAT_CHECKs that the *offline* instance is feasible; the result's
+/// `feasible` flag reports whether laziness survived the arrivals.
+OnlineResult lazy_online(const Instance& instance);
+
+}  // namespace nat::at::baselines

@@ -1,0 +1,153 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace nat::flow {
+
+MaxFlowGraph::MaxFlowGraph(int num_nodes) : head_(num_nodes) {}
+
+int MaxFlowGraph::add_node() {
+  head_.emplace_back();
+  return static_cast<int>(head_.size()) - 1;
+}
+
+int MaxFlowGraph::add_edge(int from, int to, std::int64_t capacity) {
+  NAT_CHECK(from >= 0 && from < num_nodes());
+  NAT_CHECK(to >= 0 && to < num_nodes());
+  NAT_CHECK_MSG(capacity >= 0, "negative capacity " << capacity);
+  int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, capacity});
+  edges_.push_back(Edge{from, 0, 0});
+  head_[from].push_back(id);
+  head_[to].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlowGraph::bfs(int s, int t) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (int id : head_[v]) {
+      const Edge& e = edges_[id];
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t MaxFlowGraph::dfs(int v, int t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    int id = head_[v][i];
+    Edge& e = edges_[id];
+    if (e.cap <= 0 || level_[e.to] != level_[v] + 1) continue;
+    std::int64_t got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      edges_[id ^ 1].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlowGraph::max_flow(int source, int sink) {
+  NAT_CHECK(source >= 0 && source < num_nodes());
+  NAT_CHECK(sink >= 0 && sink < num_nodes());
+  NAT_CHECK(source != sink);
+  std::int64_t total = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (std::int64_t pushed =
+               dfs(source, sink, std::numeric_limits<std::int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlowGraph::flow_on(int id) const {
+  NAT_CHECK(id >= 0 && static_cast<std::size_t>(id) < edges_.size());
+  NAT_CHECK_MSG((id & 1) == 0, "flow_on expects a forward edge id");
+  return edges_[id].original - edges_[id].cap;
+}
+
+std::int64_t MaxFlowGraph::capacity_on(int id) const {
+  NAT_CHECK(id >= 0 && static_cast<std::size_t>(id) < edges_.size());
+  return edges_[id].original;
+}
+
+void MaxFlowGraph::reset() {
+  for (Edge& e : edges_) e.cap = e.original;
+}
+
+std::vector<bool> MaxFlowGraph::min_cut_source_side(int source) const {
+  std::vector<bool> side(head_.size(), false);
+  std::queue<int> q;
+  side[source] = true;
+  q.push(source);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (int id : head_[v]) {
+      const Edge& e = edges_[id];
+      if (e.cap > 0 && !side[e.to]) {
+        side[e.to] = true;
+        q.push(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+std::int64_t edmonds_karp_reference(
+    int num_nodes,
+    const std::vector<std::tuple<int, int, std::int64_t>>& edges, int source,
+    int sink) {
+  // Dense residual matrix: fine for the small random graphs in tests.
+  std::vector<std::vector<std::int64_t>> cap(
+      num_nodes, std::vector<std::int64_t>(num_nodes, 0));
+  for (const auto& [u, v, c] : edges) cap[u][v] += c;
+  std::int64_t total = 0;
+  for (;;) {
+    std::vector<int> parent(num_nodes, -1);
+    parent[source] = source;
+    std::queue<int> q;
+    q.push(source);
+    while (!q.empty() && parent[sink] < 0) {
+      int u = q.front();
+      q.pop();
+      for (int v = 0; v < num_nodes; ++v) {
+        if (cap[u][v] > 0 && parent[v] < 0) {
+          parent[v] = u;
+          q.push(v);
+        }
+      }
+    }
+    if (parent[sink] < 0) break;
+    std::int64_t aug = std::numeric_limits<std::int64_t>::max();
+    for (int v = sink; v != source; v = parent[v]) {
+      aug = std::min(aug, cap[parent[v]][v]);
+    }
+    for (int v = sink; v != source; v = parent[v]) {
+      cap[parent[v]][v] -= aug;
+      cap[v][parent[v]] += aug;
+    }
+    total += aug;
+  }
+  return total;
+}
+
+}  // namespace nat::flow

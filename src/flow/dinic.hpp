@@ -1,0 +1,65 @@
+// Max-flow via Dinic's algorithm (BFS level graph + blocking DFS).
+//
+// The feasibility oracles of the active-time library (slot-level and
+// node-level, Lemma 4.1) reduce "can these jobs be scheduled in these
+// open slots?" to a max-flow saturation test, and schedule extraction
+// reads per-edge flows back. Integer capacities only — every capacity
+// in this repository is a job volume or g * slot count.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace nat::flow {
+
+class MaxFlowGraph {
+ public:
+  explicit MaxFlowGraph(int num_nodes = 0);
+
+  int add_node();
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Adds a directed edge with the given capacity; returns its id.
+  /// (A residual reverse edge with capacity 0 is created internally.)
+  int add_edge(int from, int to, std::int64_t capacity);
+
+  /// Computes the maximum s-t flow. May be called once per graph state;
+  /// call reset() to rerun with the same capacities.
+  std::int64_t max_flow(int source, int sink);
+
+  /// Flow pushed across edge `id` by the last max_flow() call.
+  std::int64_t flow_on(int id) const;
+  std::int64_t capacity_on(int id) const;
+
+  /// Restores all edge capacities to their originals (undoes max_flow).
+  void reset();
+
+  /// Nodes reachable from `source` in the residual graph after
+  /// max_flow(): the source side of a minimum cut.
+  std::vector<bool> min_cut_source_side(int source) const;
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;       // residual capacity
+    std::int64_t original;  // as given at add_edge
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t pushed);
+
+  std::vector<Edge> edges_;                // edge 2k and 2k+1 are paired
+  std::vector<std::vector<int>> head_;     // adjacency: edge ids per node
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+/// Reference Edmonds–Karp implementation used by property tests to
+/// cross-check Dinic on random graphs. `edges` are (from, to, cap).
+std::int64_t edmonds_karp_reference(
+    int num_nodes,
+    const std::vector<std::tuple<int, int, std::int64_t>>& edges, int source,
+    int sink);
+
+}  // namespace nat::flow

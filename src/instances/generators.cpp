@@ -1,0 +1,224 @@
+#include "instances/generators.hpp"
+
+#include <algorithm>
+
+#include "activetime/feasibility.hpp"
+#include "util/check.hpp"
+
+namespace nat::at::gen {
+
+namespace {
+
+/// All generators promise feasible instances; enforce it.
+void check_feasible(const Instance& instance) {
+  std::vector<Time> all;
+  for (const Job& job : instance.jobs) {
+    for (Time t = job.release; t < job.deadline; ++t) all.push_back(t);
+  }
+  NAT_CHECK_MSG(feasible_with_slots(instance, all),
+                "generator produced an infeasible instance");
+}
+
+}  // namespace
+
+Instance unit_overload(std::int64_t g) {
+  NAT_CHECK(g >= 1);
+  Instance instance;
+  instance.g = g;
+  for (std::int64_t j = 0; j <= g; ++j) {
+    instance.jobs.push_back(Job{0, 2, 1});
+  }
+  check_feasible(instance);
+  return instance;
+}
+
+Instance long_plus_groups(std::int64_t g, int groups, int per_group,
+                          std::int64_t long_p) {
+  NAT_CHECK(g >= 1 && groups >= 1 && per_group >= 0);
+  Instance instance;
+  instance.g = g;
+  const Time horizon = 2 * static_cast<Time>(groups);
+  NAT_CHECK_MSG(long_p <= horizon, "long job does not fit the horizon");
+  instance.jobs.push_back(Job{0, horizon, long_p});
+  for (int i = 0; i < groups; ++i) {
+    for (int j = 0; j < per_group; ++j) {
+      instance.jobs.push_back(Job{2 * i, 2 * i + 2, 1});
+    }
+  }
+  check_feasible(instance);
+  return instance;
+}
+
+Instance lemma51_gap(std::int64_t g) {
+  return long_plus_groups(g, static_cast<int>(g), static_cast<int>(g), g);
+}
+
+namespace {
+
+struct BuildState {
+  Instance instance;
+  const RandomLaminarParams* params;
+  util::Rng* rng;
+};
+
+/// Lays out a window starting at `lo`; returns its end. Adds jobs with
+/// this exact window; volume budget keeps the subtree feasible.
+Time build_window(BuildState& state, Time lo, int depth) {
+  const RandomLaminarParams& p = *state.params;
+  util::Rng& rng = *state.rng;
+
+  // Children first (so the window length is known afterwards).
+  Time cursor = lo + rng.uniform_int(1, p.gap_length);
+  std::vector<std::int64_t> child_volumes;
+  std::size_t first_child_job = state.instance.jobs.size();
+  if (depth < p.max_depth) {
+    const int kids = static_cast<int>(rng.uniform_int(0, p.max_children));
+    for (int c = 0; c < kids; ++c) {
+      if (!rng.chance(p.child_probability)) continue;
+      cursor = build_window(state, cursor, depth + 1);
+      cursor += rng.uniform_int(1, p.gap_length);
+    }
+  }
+  Time hi = cursor;
+
+  // Volume already inside (children jobs were appended after
+  // first_child_job).
+  std::int64_t inner_volume = 0;
+  for (std::size_t j = first_child_job; j < state.instance.jobs.size(); ++j) {
+    inner_volume += state.instance.jobs[j].processing;
+  }
+
+  // Own jobs: window will be [lo, hi'), where hi' grows to fit the
+  // longest own job if needed.
+  const int own = static_cast<int>(
+      rng.uniform_int(p.min_jobs_per_node, p.max_jobs_per_node));
+  std::vector<std::int64_t> lengths;
+  for (int j = 0; j < own; ++j) {
+    lengths.push_back(rng.uniform_int(1, p.max_processing));
+  }
+  if (!lengths.empty()) {
+    hi = std::max(hi, lo + *std::max_element(lengths.begin(), lengths.end()));
+  }
+  // Respect the volume budget g * |K| * fill; grow the window when the
+  // budget is short (keeps every generated instance feasible).
+  std::int64_t volume = inner_volume;
+  for (std::int64_t len : lengths) volume += len;
+  while (static_cast<double>(volume) >
+         static_cast<double>(state.instance.g) *
+             static_cast<double>(hi - lo) * p.fill) {
+    ++hi;
+  }
+  for (std::int64_t len : lengths) {
+    state.instance.jobs.push_back(Job{lo, hi, len});
+  }
+  return hi;
+}
+
+}  // namespace
+
+Instance random_laminar(const RandomLaminarParams& params, util::Rng& rng) {
+  BuildState state;
+  state.instance.g = params.g;
+  state.params = &params;
+  state.rng = &rng;
+  build_window(state, 0, 0);
+  state.instance.validate();
+  NAT_CHECK(state.instance.is_laminar());
+  check_feasible(state.instance);
+  return state.instance;
+}
+
+Instance random_laminar_unit(const RandomLaminarParams& params,
+                             util::Rng& rng) {
+  RandomLaminarParams unit = params;
+  unit.max_processing = 1;
+  return random_laminar(unit, rng);
+}
+
+Instance staircase(std::int64_t g, int levels, int per_level) {
+  NAT_CHECK(g >= 1 && levels >= 1 && per_level >= 1);
+  NAT_CHECK_MSG(static_cast<std::int64_t>(levels) * per_level <=
+                    g * (2 * static_cast<std::int64_t>(levels)),
+                "staircase would be infeasible");
+  Instance instance;
+  instance.g = g;
+  const Time width = 2 * static_cast<Time>(levels);
+  for (int i = 0; i < levels; ++i) {
+    for (int j = 0; j < per_level; ++j) {
+      instance.jobs.push_back(
+          Job{static_cast<Time>(i), width - static_cast<Time>(i), 1});
+    }
+  }
+  check_feasible(instance);
+  return instance;
+}
+
+namespace {
+
+void binary_nest_rec(Instance& instance, Time lo, Time hi, int depth) {
+  // One unit job with this exact window; a long job at internal levels.
+  instance.jobs.push_back(Job{lo, hi, 1});
+  if (depth == 0) return;
+  const Time len = hi - lo;
+  instance.jobs.push_back(Job{lo, hi, std::max<Time>(2, len / 4)});
+  // Children: left and right halves, separated by a one-slot gap when
+  // it fits (keeps the windows strictly nested, not tiling).
+  const Time mid = lo + len / 2;
+  if (mid - 1 > lo) binary_nest_rec(instance, lo + 1, mid - 1, depth - 1);
+  if (hi - 1 > mid) binary_nest_rec(instance, mid, hi - 1, depth - 1);
+}
+
+}  // namespace
+
+Instance binary_nest(std::int64_t g, int depth) {
+  NAT_CHECK(g >= 2 && depth >= 0 && depth <= 6);
+  Instance instance;
+  instance.g = g;
+  const Time width = Time{8} << depth;  // enough room to keep nesting
+  binary_nest_rec(instance, 0, width, depth);
+  instance.validate();
+  NAT_CHECK(instance.is_laminar());
+  check_feasible(instance);
+  return instance;
+}
+
+Instance random_contended(const ContendedParams& params, util::Rng& rng) {
+  NAT_CHECK(params.g >= 1 && params.min_groups >= 1 &&
+            params.max_groups >= params.min_groups &&
+            params.group_width >= 1);
+  Instance instance;
+  instance.g = params.g;
+  const int groups = static_cast<int>(
+      rng.uniform_int(params.min_groups, params.max_groups));
+  const Time w = params.group_width;
+  const Time horizon = static_cast<Time>(groups) * w;
+
+  // Groups: almost saturated with unit jobs — each group forces about
+  // one slot of its own and leaves little slack for the long jobs.
+  std::int64_t used = 0;
+  for (int i = 0; i < groups; ++i) {
+    const std::int64_t units = rng.uniform_int(
+        std::max<std::int64_t>(1, params.g - params.unit_slack), params.g);
+    for (std::int64_t u = 0; u < units; ++u) {
+      instance.jobs.push_back(
+          Job{static_cast<Time>(i) * w, static_cast<Time>(i + 1) * w, 1});
+    }
+    used += units;
+  }
+
+  // Long jobs spanning the whole horizon, within the leftover capacity
+  // (keeps vol(Des(root)) <= g * horizon, hence feasibility).
+  std::int64_t spare = params.g * horizon - used;
+  const int longs =
+      static_cast<int>(rng.uniform_int(1, params.max_long_jobs));
+  for (int l = 0; l < longs && spare > 0; ++l) {
+    const std::int64_t p =
+        rng.uniform_int(1, std::min<std::int64_t>(horizon, spare));
+    instance.jobs.push_back(Job{0, horizon, p});
+    spare -= p;
+  }
+  check_feasible(instance);
+  return instance;
+}
+
+}  // namespace nat::at::gen

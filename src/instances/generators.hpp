@@ -1,0 +1,79 @@
+// Instance families used by the experiments (DESIGN.md §4).
+//
+// Every generator returns a *feasible* laminar instance (verified by a
+// flow test before returning) and is deterministic given its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "activetime/instance.hpp"
+#include "util/rng.hpp"
+
+namespace nat::at::gen {
+
+/// Natural-LP gap-2 family: g+1 unit jobs, shared window [0, 2).
+/// Natural LP opens (g+1)/g fractional slots; OPT = 2 (E3).
+Instance unit_overload(std::int64_t g);
+
+/// Lemma 5.1 gap family: one long job (p = g, window [0, 2g)) plus g
+/// groups of g unit jobs with windows [2i, 2i+2). CW-LP value g+2,
+/// OPT = 3g/2, gap → 3/2 (E2).
+Instance lemma51_gap(std::int64_t g);
+
+/// Generalization of the Lemma 5.1 family: `groups` groups of `per_group`
+/// unit jobs plus a long job of length `long_p` spanning everything.
+Instance long_plus_groups(std::int64_t g, int groups, int per_group,
+                          std::int64_t long_p);
+
+struct RandomLaminarParams {
+  std::int64_t g = 3;
+  int max_depth = 3;          // nesting depth of the window tree
+  int max_children = 3;       // fan-out per window
+  double child_probability = 0.7;
+  int min_jobs_per_node = 1;
+  int max_jobs_per_node = 3;
+  std::int64_t max_processing = 4;
+  Time gap_length = 2;        // exclusive slots around children
+  double fill = 0.8;          // volume budget fraction of g * |K(i)|
+};
+
+/// Random laminar instance: recursive window splitting; each window
+/// carries jobs whose volume respects the per-subtree capacity
+/// g * |K(i)| * fill, which guarantees feasibility for nested windows.
+Instance random_laminar(const RandomLaminarParams& params, util::Rng& rng);
+
+/// Random laminar instance with all-unit processing times (the
+/// polynomial-time special case of Chang–Gabow–Khuller; E8).
+Instance random_laminar_unit(const RandomLaminarParams& params,
+                             util::Rng& rng);
+
+struct ContendedParams {
+  std::int64_t g = 4;
+  int min_groups = 2;
+  int max_groups = 5;
+  Time group_width = 2;
+  // Unit jobs per group, drawn from [g - unit_slack, g].
+  std::int64_t unit_slack = 1;
+  int max_long_jobs = 2;
+};
+
+/// Contended family (randomized generalization of the Lemma 5.1 gap
+/// instance): sibling groups nearly saturated with unit jobs, plus long
+/// jobs spanning all groups. These instances make the strengthened LP
+/// genuinely fractional — the regime where Algorithm 1's type-C
+/// machinery actually fires — unlike loose random laminar instances,
+/// whose LPs are almost always integral.
+Instance random_contended(const ContendedParams& params, util::Rng& rng);
+
+/// Staircase family: k strictly nested windows [i, 2k - i) each
+/// carrying `per_level` unit jobs — a maximal-depth chain stressing the
+/// ancestor machinery (every node is an ancestor or descendant of
+/// every other).
+Instance staircase(std::int64_t g, int levels, int per_level);
+
+/// Perfect binary nesting of the given depth: each window splits into
+/// two children, unit jobs at every node, plus one long job per
+/// internal window. Stresses binarization-free deep recursion.
+Instance binary_nest(std::int64_t g, int depth);
+
+}  // namespace nat::at::gen

@@ -1,0 +1,50 @@
+#include "io/dot.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace nat::io {
+
+void write_dot(std::ostream& os, const at::LaminarForest& forest,
+               const DotOptions& options) {
+  if (!options.x_fractional.empty()) {
+    NAT_CHECK(static_cast<int>(options.x_fractional.size()) ==
+              forest.num_nodes());
+  }
+  if (!options.x_rounded.empty()) {
+    NAT_CHECK(static_cast<int>(options.x_rounded.size()) ==
+              forest.num_nodes());
+  }
+  os << "digraph laminar {\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    const at::TreeNode& n = forest.node(i);
+    os << "  n" << i << " [label=\"#" << i << " " << '[' << n.interval.lo
+       << ',' << n.interval.hi << ")\\nL=" << n.length();
+    if (options.show_jobs && !n.jobs.empty()) {
+      os << "\\njobs:";
+      for (int j : n.jobs) {
+        os << " j" << j << "(p=" << forest.jobs()[j].processing << ')';
+      }
+    }
+    if (!options.x_fractional.empty()) {
+      os << "\\nx=" << std::fixed << std::setprecision(3)
+         << options.x_fractional[i];
+    }
+    if (!options.x_rounded.empty()) {
+      os << "\\nx~=" << options.x_rounded[i];
+    }
+    os << '"';
+    if (n.is_virtual) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (int i = 0; i < forest.num_nodes(); ++i) {
+    for (int c : forest.node(i).children) {
+      os << "  n" << i << " -> n" << c << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace nat::io

@@ -1,0 +1,26 @@
+// Graphviz export of the laminar window forest, optionally annotated
+// with fractional/rounded open counts — the executable version of the
+// paper's Figure 1(b)/(c) tree pictures.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "activetime/tree.hpp"
+
+namespace nat::io {
+
+struct DotOptions {
+  // Optional per-node annotations (pass empty vectors to omit).
+  std::vector<double> x_fractional;
+  std::vector<at::Time> x_rounded;
+  bool show_jobs = true;
+};
+
+/// Writes the forest as a Graphviz digraph. Virtual nodes are drawn
+/// dashed; each label carries K(i), L(i), the jobs, and any provided
+/// x / x~ values.
+void write_dot(std::ostream& os, const at::LaminarForest& forest,
+               const DotOptions& options = {});
+
+}  // namespace nat::io

@@ -1,0 +1,98 @@
+#include "io/serialize.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace nat::io {
+
+void write_instance(std::ostream& os, const at::Instance& instance) {
+  os << "activetime v1\n";
+  os << "g " << instance.g << '\n';
+  os << "jobs " << instance.jobs.size() << '\n';
+  for (const at::Job& job : instance.jobs) {
+    os << job.release << ' ' << job.deadline << ' ' << job.processing
+       << '\n';
+  }
+}
+
+at::Instance read_instance(std::istream& is) {
+  std::string magic, version, key;
+  is >> magic >> version;
+  NAT_CHECK_MSG(magic == "activetime" && version == "v1",
+                "bad header: '" << magic << ' ' << version << "'");
+  at::Instance instance;
+  std::size_t n = 0;
+  is >> key >> instance.g;
+  NAT_CHECK_MSG(key == "g", "expected 'g', got '" << key << "'");
+  is >> key >> n;
+  NAT_CHECK_MSG(key == "jobs", "expected 'jobs', got '" << key << "'");
+  for (std::size_t j = 0; j < n; ++j) {
+    at::Job job;
+    is >> job.release >> job.deadline >> job.processing;
+    NAT_CHECK_MSG(static_cast<bool>(is), "truncated job list at " << j);
+    instance.jobs.push_back(job);
+  }
+  instance.validate();
+  return instance;
+}
+
+std::string to_string(const at::Instance& instance) {
+  std::ostringstream os;
+  write_instance(os, instance);
+  return os.str();
+}
+
+at::Instance instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+void write_gantt(std::ostream& os, const at::Instance& instance,
+                 const at::Schedule& schedule, int max_width) {
+  const at::Interval horizon = instance.horizon();
+  NAT_CHECK_MSG(horizon.length() <= max_width,
+                "horizon too wide for a Gantt chart ("
+                    << horizon.length() << " > " << max_width << ")");
+  os << "t=" << horizon.lo << " ... " << horizon.hi << "  (g="
+     << instance.g << ")\n";
+  for (std::size_t j = 0; j < instance.jobs.size(); ++j) {
+    const at::Job& job = instance.jobs[j];
+    std::string row(static_cast<std::size_t>(horizon.length()), ' ');
+    for (at::Time t = job.release; t < job.deadline; ++t) {
+      row[static_cast<std::size_t>(t - horizon.lo)] = '.';
+    }
+    if (j < schedule.assignment.size()) {
+      for (at::Time t : schedule.assignment[j]) {
+        row[static_cast<std::size_t>(t - horizon.lo)] = '#';
+      }
+    }
+    os << "  j" << j << (j < 10 ? " " : "") << " |" << row << "|\n";
+  }
+  std::string active(static_cast<std::size_t>(horizon.length()), ' ');
+  for (at::Time t : schedule.active_times()) {
+    active[static_cast<std::size_t>(t - horizon.lo)] = '^';
+  }
+  os << "  on  |" << active << "|\n";
+}
+
+void write_schedule(std::ostream& os, const at::Instance& instance,
+                    const at::Schedule& schedule) {
+  std::map<at::Time, std::vector<int>> by_slot;
+  for (std::size_t j = 0; j < schedule.assignment.size(); ++j) {
+    for (at::Time t : schedule.assignment[j]) {
+      by_slot[t].push_back(static_cast<int>(j));
+    }
+  }
+  os << "active slots: " << by_slot.size() << " (g=" << instance.g << ")\n";
+  for (const auto& [t, jobs] : by_slot) {
+    os << "  t=" << t << ':';
+    for (int j : jobs) os << " j" << j;
+    os << '\n';
+  }
+}
+
+}  // namespace nat::io

@@ -1,0 +1,37 @@
+// Plain-text serialization of instances and schedules:
+//
+//   activetime v1
+//   g <g>
+//   jobs <n>
+//   <release> <deadline> <processing>     (n lines)
+//
+// Round-trips exactly; used by the examples and by anyone who wants to
+// feed instances in from files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "activetime/instance.hpp"
+#include "activetime/schedule.hpp"
+
+namespace nat::io {
+
+void write_instance(std::ostream& os, const at::Instance& instance);
+at::Instance read_instance(std::istream& is);
+
+std::string to_string(const at::Instance& instance);
+at::Instance instance_from_string(const std::string& text);
+
+/// Human-readable schedule dump (one line per active slot).
+void write_schedule(std::ostream& os, const at::Instance& instance,
+                    const at::Schedule& schedule);
+
+/// ASCII Gantt chart: one row per job over the instance horizon.
+///   '#' = job runs in this slot, '.' = slot inside the window but
+///   idle, ' ' = outside the window; footer row marks active slots.
+/// Refuses horizons wider than `max_width` columns.
+void write_gantt(std::ostream& os, const at::Instance& instance,
+                 const at::Schedule& schedule, int max_width = 120);
+
+}  // namespace nat::io

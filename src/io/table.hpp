@@ -1,0 +1,35 @@
+// Markdown/CSV table writer for the bench harness. Every experiment
+// binary prints the paper's expected value next to the measured one
+// through this, so EXPERIMENTS.md rows can be pasted straight from
+// bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nat::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+  static std::string ratio(double num, double den, int precision = 3);
+
+  void print_markdown(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nat::io

@@ -1,0 +1,391 @@
+#include "lp/bounded_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nat::lp {
+
+namespace {
+
+constexpr double kInfU = std::numeric_limits<double>::infinity();
+
+class BoundedSimplex {
+ public:
+  Solution run(const Model& model, const SolveOptions& options) {
+    tol_ = options.tol;
+    feas_tol_ = options.feas_tol;
+    build(model);
+    max_iterations_ = options.max_iterations >= 0
+                          ? options.max_iterations
+                          : 200 * static_cast<std::int64_t>(rows_ + cols_) +
+                                2000;
+    bland_after_ = 4 * static_cast<std::int64_t>(rows_ + cols_) + 200;
+
+    Solution sol;
+    Status st = phase1();
+    if (st != Status::kOptimal) {
+      sol.status = st == Status::kUnbounded ? Status::kInfeasible : st;
+      sol.iterations = iterations_;
+      return sol;
+    }
+    st = phase2();
+    sol.status = st;
+    sol.iterations = iterations_;
+    if (st == Status::kOptimal) extract(model, sol);
+    return sol;
+  }
+
+ private:
+  struct VarMap {
+    int col_pos = -1;
+    int col_neg = -1;
+    double shift = 0.0;
+  };
+
+  double& at(std::size_t r, std::size_t c) { return tab_[r * cols_ + c]; }
+
+  void build(const Model& model) {
+    varmap_.assign(model.num_variables(), VarMap{});
+    std::vector<double> ub;  // per standardized column
+    int next = 0;
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const Variable& v = model.variable(i);
+      VarMap& vm = varmap_[i];
+      if (std::isfinite(v.lower)) {
+        vm.shift = v.lower;
+        vm.col_pos = next++;
+        ub.push_back(std::isfinite(v.upper) ? v.upper - v.lower : kInfU);
+      } else {
+        NAT_CHECK_MSG(!std::isfinite(v.upper),
+                      "free variable with finite upper bound unsupported");
+        vm.col_pos = next++;
+        vm.col_neg = next++;
+        ub.push_back(kInfU);
+        ub.push_back(kInfU);
+      }
+    }
+    structural_ = next;
+
+    // Rows to equalities with slack/surplus; rhs >= 0 after negation.
+    struct StdRow {
+      double rhs;
+      std::vector<std::pair<int, double>> coeffs;
+      bool needs_artificial;
+    };
+    std::vector<StdRow> srows;
+    for (const Row& row : model.rows()) {
+      StdRow sr;
+      sr.rhs = row.rhs;
+      std::vector<double> dense(structural_, 0.0);
+      for (const auto& [var, coeff] : row.coeffs) {
+        const VarMap& vm = varmap_[var];
+        sr.rhs -= coeff * vm.shift;
+        dense[vm.col_pos] += coeff;
+        if (vm.col_neg >= 0) dense[vm.col_neg] -= coeff;
+      }
+      double slack_sign = 0.0;  // 0 for equality
+      Sense sense = row.sense;
+      if (sr.rhs < 0.0) {
+        sr.rhs = -sr.rhs;
+        for (double& d : dense) d = -d;
+        if (sense == Sense::kLe) sense = Sense::kGe;
+        else if (sense == Sense::kGe) sense = Sense::kLe;
+      }
+      if (sense == Sense::kLe) slack_sign = 1.0;
+      else if (sense == Sense::kGe) slack_sign = -1.0;
+      for (int c = 0; c < structural_; ++c) {
+        if (dense[c] != 0.0) sr.coeffs.push_back({c, dense[c]});
+      }
+      // Slack with +1 coefficient can serve as the starting basis;
+      // surplus (-1) and equalities need an artificial.
+      sr.needs_artificial = slack_sign <= 0.0;
+      if (slack_sign != 0.0) {
+        sr.coeffs.push_back({next, slack_sign});
+        ub.push_back(kInfU);
+        ++next;
+      }
+      srows.push_back(std::move(sr));
+    }
+    // Artificial columns.
+    art_begin_ = next;
+    for (const StdRow& sr : srows) {
+      if (sr.needs_artificial) {
+        ub.push_back(kInfU);
+        ++next;
+      }
+    }
+    cols_ = static_cast<std::size_t>(next);
+    rows_ = srows.size();
+    ub_ = std::move(ub);
+    tab_.assign(rows_ * cols_, 0.0);
+    beta_.assign(rows_, 0.0);
+    basis_.assign(rows_, -1);
+    at_upper_.assign(cols_, false);
+
+    int art = static_cast<int>(art_begin_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (const auto& [c, v] : srows[r].coeffs) at(r, c) = v;
+      beta_[r] = srows[r].rhs;
+      if (srows[r].needs_artificial) {
+        at(r, static_cast<std::size_t>(art)) = 1.0;
+        basis_[r] = art++;
+      } else {
+        basis_[r] = srows[r].coeffs.back().first;  // the +1 slack
+      }
+    }
+
+    cost_.assign(cols_, 0.0);
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const double c = model.variable(i).objective;
+      if (c == 0.0) continue;
+      cost_[varmap_[i].col_pos] += c;
+      if (varmap_[i].col_neg >= 0) cost_[varmap_[i].col_neg] -= c;
+    }
+    iterations_ = 0;
+    use_bland_ = false;
+  }
+
+  void reset_objrow(const std::vector<double>& c) {
+    objrow_.assign(cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) objrow_[j] = c[j];
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double cb = c[basis_[r]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) objrow_[j] -= cb * at(r, j);
+    }
+  }
+
+  /// Performs the Gaussian pivot on the coefficient columns (beta_ is
+  /// maintained separately as explicit basic values).
+  void pivot_columns(std::size_t prow, std::size_t pcol) {
+    const double p = at(prow, pcol);
+    NAT_DCHECK(std::abs(p) > tol_);
+    for (std::size_t j = 0; j < cols_; ++j) at(prow, j) /= p;
+    at(prow, pcol) = 1.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == prow) continue;
+      const double f = at(r, pcol);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) at(r, j) -= f * at(prow, j);
+      at(r, pcol) = 0.0;
+    }
+    const double f = objrow_[pcol];
+    if (f != 0.0) {
+      for (std::size_t j = 0; j < cols_; ++j) objrow_[j] -= f * at(prow, j);
+      objrow_[pcol] = 0.0;
+    }
+    basis_[prow] = static_cast<int>(pcol);
+  }
+
+  template <class Allow>
+  Status iterate(const Allow& allow) {
+    for (;;) {
+      if (iterations_ >= max_iterations_) return Status::kIterLimit;
+      if (!use_bland_ && iterations_ >= bland_after_) use_bland_ = true;
+
+      // Entering column: improving direction depends on which bound
+      // the nonbasic sits at. Columns with no room (ub ~ 0) are inert.
+      std::ptrdiff_t enter = -1;
+      bool decreasing = false;  // true when entering from its upper bound
+      double best = 0.0;
+      std::vector<bool> is_basic(cols_, false);
+      for (std::size_t r = 0; r < rows_; ++r) is_basic[basis_[r]] = true;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (!allow(j) || is_basic[j]) continue;
+        if (ub_[j] <= tol_) continue;  // fixed at 0
+        const double d = objrow_[j];
+        const bool improving =
+            at_upper_[j] ? d > tol_ : d < -tol_;
+        if (!improving) continue;
+        const double score = std::abs(d);
+        if (use_bland_) {
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+          break;
+        }
+        if (score > best) {
+          best = score;
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+        }
+      }
+      if (enter < 0) return Status::kOptimal;
+      const std::size_t j = static_cast<std::size_t>(enter);
+
+      // Ratio test. Moving the entering variable by t (increase from
+      // lower, or decrease from upper), basic values move along
+      // -+ T_col respectively.
+      const double sign = decreasing ? -1.0 : 1.0;
+      double limit = ub_[j];  // own bound: ends in a flip
+      std::ptrdiff_t leave = -1;
+      bool leave_at_upper = false;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = sign * at(r, j);
+        // basic value moves to beta_[r] - t * a
+        double cap = kInfU;
+        bool blocks_at_upper = false;
+        if (a > tol_) {
+          cap = beta_[r] / a;  // hits lower bound 0
+        } else if (a < -tol_) {
+          const double u = ub_[basis_[r]];
+          if (std::isfinite(u)) {
+            cap = (u - beta_[r]) / (-a);
+            blocks_at_upper = true;
+          }
+        }
+        if (cap < limit - tol_ ||
+            (cap < limit + tol_ && leave >= 0 &&
+             basis_[r] < basis_[leave])) {
+          // strict improvement, or Bland-compatible tie-break
+          if (cap <= limit + tol_) {
+            limit = std::max(cap, 0.0);
+            leave = static_cast<std::ptrdiff_t>(r);
+            leave_at_upper = blocks_at_upper;
+          }
+        }
+      }
+      if (!std::isfinite(limit)) return Status::kUnbounded;
+
+      if (leave < 0) {
+        // Bound flip: the entering variable runs to its other bound.
+        NAT_DCHECK(std::isfinite(ub_[j]));
+        for (std::size_t r = 0; r < rows_; ++r) {
+          beta_[r] -= ub_[j] * sign * at(r, j);
+        }
+        at_upper_[j] = !at_upper_[j];
+        ++iterations_;
+        continue;
+      }
+
+      const std::size_t prow = static_cast<std::size_t>(leave);
+      // Update basic values along the direction.
+      for (std::size_t r = 0; r < rows_; ++r) {
+        beta_[r] -= limit * sign * at(r, j);
+      }
+      // Leaving variable exits at whichever bound blocked.
+      at_upper_[basis_[prow]] = leave_at_upper;
+      // Entering variable's new value.
+      const double enter_value =
+          decreasing ? ub_[j] - limit : limit;
+      pivot_columns(prow, j);
+      beta_[prow] = enter_value;
+      at_upper_[j] = false;  // basic now; flag meaningless but keep clean
+      ++iterations_;
+    }
+  }
+
+  Status phase1() {
+    if (art_begin_ == cols_) {
+      reset_objrow(std::vector<double>(cols_, 0.0));
+      return Status::kOptimal;
+    }
+    std::vector<double> d(cols_, 0.0);
+    for (std::size_t jj = art_begin_; jj < cols_; ++jj) d[jj] = 1.0;
+    reset_objrow(d);
+    Status st = iterate([](std::size_t) { return true; });
+    if (st != Status::kOptimal) return st;
+    double p1 = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (static_cast<std::size_t>(basis_[r]) >= art_begin_) {
+        p1 += beta_[r];
+      }
+    }
+    if (p1 > feas_tol_) return Status::kInfeasible;
+    drive_out_artificials();
+    return Status::kOptimal;
+  }
+
+  void drive_out_artificials() {
+    for (std::size_t r = 0; r < rows_;) {
+      if (static_cast<std::size_t>(basis_[r]) < art_begin_) {
+        ++r;
+        continue;
+      }
+      std::ptrdiff_t col = -1;
+      for (std::size_t jj = 0; jj < art_begin_; ++jj) {
+        if (std::abs(at(r, jj)) > tol_) {
+          col = static_cast<std::ptrdiff_t>(jj);
+          break;
+        }
+      }
+      if (col >= 0) {
+        // The pivot re-expresses the same point in a new basis: the
+        // incoming column keeps its current value (its upper bound if
+        // it was parked there, else ~0 like the artificial it
+        // replaces); every other basic value is untouched.
+        const std::size_t c = static_cast<std::size_t>(col);
+        const double incoming_value =
+            at_upper_[c] && std::isfinite(ub_[c]) ? ub_[c] : beta_[r];
+        pivot_columns(r, c);
+        beta_[r] = incoming_value;
+        at_upper_[c] = false;
+        ++r;
+      } else {
+        remove_row(r);
+      }
+    }
+  }
+
+  void remove_row(std::size_t r) {
+    const std::size_t last = rows_ - 1;
+    if (r != last) {
+      for (std::size_t j = 0; j < cols_; ++j) at(r, j) = at(last, j);
+      beta_[r] = beta_[last];
+      basis_[r] = basis_[last];
+    }
+    basis_.pop_back();
+    beta_.pop_back();
+    --rows_;
+    tab_.resize(rows_ * cols_);
+  }
+
+  Status phase2() {
+    reset_objrow(cost_);
+    const std::size_t ab = art_begin_;
+    return iterate([ab](std::size_t j) { return j < ab; });
+  }
+
+  void extract(const Model& model, Solution& sol) {
+    std::vector<double> xs(cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (at_upper_[j] && std::isfinite(ub_[j])) xs[j] = ub_[j];
+    }
+    for (std::size_t r = 0; r < rows_; ++r) xs[basis_[r]] = beta_[r];
+    sol.x.assign(model.num_variables(), 0.0);
+    sol.objective = 0.0;
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const VarMap& vm = varmap_[i];
+      double v = vm.shift + xs[vm.col_pos];
+      if (vm.col_neg >= 0) v -= xs[vm.col_neg];
+      sol.x[i] = v;
+      sol.objective += model.variable(i).objective * v;
+    }
+  }
+
+  std::vector<double> tab_;      // rows_ x cols_ coefficients (no rhs)
+  std::vector<double> beta_;     // current basic values
+  std::vector<double> objrow_;   // reduced costs
+  std::vector<double> cost_;     // phase-2 costs
+  std::vector<double> ub_;       // per-column upper bound (lower is 0)
+  std::vector<int> basis_;
+  std::vector<bool> at_upper_;   // nonbasic bound status
+  std::vector<VarMap> varmap_;
+  std::size_t rows_ = 0, cols_ = 0, art_begin_ = 0;
+  int structural_ = 0;
+  double tol_ = 1e-9, feas_tol_ = 1e-7;
+  std::int64_t iterations_ = 0, max_iterations_ = 0, bland_after_ = 0;
+  bool use_bland_ = false;
+};
+
+}  // namespace
+
+Solution solve_bounded(const Model& model, const SolveOptions& options) {
+  BoundedSimplex solver;
+  return solver.run(model, options);
+}
+
+}  // namespace nat::lp

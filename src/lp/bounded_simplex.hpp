@@ -1,0 +1,25 @@
+// Bounded-variable primal simplex (Dantzig's upper-bounding technique).
+//
+// A second floating-point backend that treats finite upper bounds
+// natively: nonbasic variables may sit at either bound, a ratio test
+// can end in a *bound flip* without any pivot, and no `x <= u` rows are
+// ever materialized. On this repository's LPs — where every x(i) has
+// the bound L(i) and every time-indexed x(t) <= 1 — this removes a
+// large slice of the row count that the plain tableau backend
+// (lp/dense_simplex.*) pays for.
+//
+// Same two-phase structure as the plain backend (artificials, Dantzig
+// pricing with a permanent Bland fallback). Differentially tested
+// against both other backends on random LP sweeps.
+#pragma once
+
+#include "lp/dense_simplex.hpp"
+#include "lp/model.hpp"
+
+namespace nat::lp {
+
+/// Solves `model` (minimization) with the bounded-variable simplex.
+/// Status/objective agree with lp::solve up to tolerances.
+Solution solve_bounded(const Model& model, const SolveOptions& options = {});
+
+}  // namespace nat::lp

@@ -1,0 +1,14 @@
+#include "lp/dense_simplex.hpp"
+
+namespace nat::lp {
+
+Solution solve(const Model& model, const SolveOptions& options) {
+  TableauSimplex<DoubleTraits> solver;
+  TableauSimplex<DoubleTraits>::Options opt;
+  opt.tol = options.tol;
+  opt.feas_tol = options.feas_tol;
+  opt.max_iterations = options.max_iterations;
+  return solver.solve(model, opt);
+}
+
+}  // namespace nat::lp

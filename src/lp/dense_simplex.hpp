@@ -1,0 +1,23 @@
+// Floating-point LP solver front-end (see lp/simplex.hpp for the
+// algorithm). This is the backend every experiment uses.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace nat::lp {
+
+using Solution = GenericSolution<double>;
+
+struct SolveOptions {
+  double tol = 1e-9;
+  double feas_tol = 1e-7;
+  std::int64_t max_iterations = -1;  // -1: auto
+};
+
+/// Solves `model` (minimization) with the dense two-phase simplex.
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace nat::lp

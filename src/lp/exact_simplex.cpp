@@ -1,0 +1,14 @@
+#include "lp/exact_simplex.hpp"
+
+namespace nat::lp {
+
+ExactSolution solve_exact(const Model& model) {
+  TableauSimplex<RationalTraits> solver;
+  TableauSimplex<RationalTraits>::Options opt;
+  // Exact arithmetic: Bland from the start would be safest but slow;
+  // the stall threshold flips to Bland automatically, which guarantees
+  // termination. Tolerances are ignored by RationalTraits.
+  return solver.solve(model, opt);
+}
+
+}  // namespace nat::lp

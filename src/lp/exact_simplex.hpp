@@ -1,0 +1,34 @@
+// Exact rational LP solver front-end.
+//
+// Same two-phase simplex as the double backend, instantiated over
+// nat::num::Rational with exact sign tests. Intended for small LPs:
+// certifying integrality-gap values exactly (EXPERIMENTS.md E2/E3) and
+// property-testing the floating-point backend against ground truth.
+#pragma once
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "numeric/rational.hpp"
+
+namespace nat::lp {
+
+using ExactSolution = GenericSolution<num::Rational>;
+
+struct RationalTraits {
+  using Num = num::Rational;
+  static constexpr bool exact = true;
+  static Num from_double(double v) {
+    return num::Rational::from_double_exact(v);
+  }
+  static double to_double(const Num& v) { return v.to_double(); }
+  static bool is_zero(const Num& v, double /*tol*/) { return v.is_zero(); }
+  static bool less(const Num& a, const Num& b, double /*tol*/) {
+    return a < b;
+  }
+};
+
+/// Solves `model` (minimization) exactly. Model coefficients are
+/// converted from double losslessly (doubles are binary rationals).
+ExactSolution solve_exact(const Model& model);
+
+}  // namespace nat::lp

@@ -1,0 +1,182 @@
+#include "lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace nat::lp {
+
+namespace {
+
+constexpr double kFixTol = 1e-12;   // lower == upper detection
+constexpr double kFeasTol = 1e-9;   // consistency of empty rows / bounds
+
+struct WorkVar {
+  double lower, upper, objective;
+  bool alive = true;
+};
+
+struct WorkRow {
+  Sense sense;
+  double rhs;
+  std::vector<std::pair<int, double>> coeffs;  // merged, alive vars only
+  bool alive = true;
+};
+
+}  // namespace
+
+Presolved presolve(const Model& model) {
+  Presolved out;
+  const int n = model.num_variables();
+
+  std::vector<WorkVar> vars;
+  vars.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const Variable& v = model.variable(i);
+    vars.push_back(WorkVar{v.lower, v.upper, v.objective, true});
+  }
+  std::vector<WorkRow> rows;
+  rows.reserve(model.num_rows());
+  for (const Row& r : model.rows()) {
+    WorkRow w{r.sense, r.rhs, {}, true};
+    // Merge duplicate variable entries up front.
+    std::vector<double> acc(n, 0.0);
+    std::vector<int> touched;
+    for (const auto& [var, coeff] : r.coeffs) {
+      if (acc[var] == 0.0 && coeff != 0.0) touched.push_back(var);
+      acc[var] += coeff;
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int var : touched) {
+      if (acc[var] != 0.0) w.coeffs.push_back({var, acc[var]});
+    }
+    rows.push_back(std::move(w));
+  }
+
+  auto fixed = [&](int i) {
+    return vars[i].upper - vars[i].lower <= kFixTol;
+  };
+
+  // Iterate the reduction rules to a fixed point.
+  bool changed = true;
+  while (changed && !out.infeasible) {
+    changed = false;
+    // Bound sanity.
+    for (int i = 0; i < n && !out.infeasible; ++i) {
+      if (vars[i].lower > vars[i].upper + kFeasTol) out.infeasible = true;
+    }
+    if (out.infeasible) break;
+
+    for (WorkRow& row : rows) {
+      if (!row.alive) continue;
+      // Substitute currently-fixed variables into the row.
+      std::vector<std::pair<int, double>> remaining;
+      for (const auto& [var, coeff] : row.coeffs) {
+        if (fixed(var)) {
+          row.rhs -= coeff * vars[var].lower;
+          changed = true;
+        } else {
+          remaining.push_back({var, coeff});
+        }
+      }
+      row.coeffs = std::move(remaining);
+
+      if (row.coeffs.empty()) {
+        // Empty row: consistency check, then drop.
+        const bool ok = (row.sense == Sense::kLe && row.rhs >= -kFeasTol) ||
+                        (row.sense == Sense::kGe && row.rhs <= kFeasTol) ||
+                        (row.sense == Sense::kEq &&
+                         std::abs(row.rhs) <= kFeasTol);
+        if (!ok) {
+          out.infeasible = true;
+          return out;
+        }
+        row.alive = false;
+        changed = true;
+        continue;
+      }
+
+      if (row.coeffs.size() == 1) {
+        // Singleton row: tighten the variable's bounds and drop.
+        const auto [var, coeff] = row.coeffs.front();
+        const double bound = row.rhs / coeff;
+        const bool upper_side =
+            (row.sense == Sense::kLe) == (coeff > 0.0);
+        if (row.sense == Sense::kEq) {
+          vars[var].lower = std::max(vars[var].lower, bound);
+          vars[var].upper = std::min(vars[var].upper, bound);
+        } else if (upper_side) {
+          vars[var].upper = std::min(vars[var].upper, bound);
+        } else {
+          vars[var].lower = std::max(vars[var].lower, bound);
+        }
+        if (vars[var].lower > vars[var].upper + kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+        row.alive = false;
+        changed = true;
+      }
+    }
+  }
+
+  // Assemble the reduced model and the variable map.
+  out.vars.resize(n);
+  for (int i = 0; i < n; ++i) {
+    if (fixed(i)) {
+      out.vars[i].fixed = true;
+      out.vars[i].value = vars[i].lower;
+      ++out.vars_removed;
+    } else {
+      out.vars[i].reduced_index = out.reduced.add_variable(
+          model.variable(i).name, vars[i].lower, vars[i].upper,
+          vars[i].objective);
+    }
+  }
+  for (const WorkRow& row : rows) {
+    if (!row.alive) {
+      ++out.rows_removed;
+      continue;
+    }
+    std::vector<std::pair<int, double>> coeffs;
+    for (const auto& [var, coeff] : row.coeffs) {
+      NAT_DCHECK(!out.vars[var].fixed);
+      coeffs.push_back({out.vars[var].reduced_index, coeff});
+    }
+    out.reduced.add_row(row.sense, row.rhs, std::move(coeffs));
+  }
+  return out;
+}
+
+std::vector<double> Presolved::postsolve(
+    const std::vector<double>& reduced_x) const {
+  NAT_CHECK(static_cast<int>(reduced_x.size()) ==
+            reduced.num_variables());
+  std::vector<double> x(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    x[i] = vars[i].fixed ? vars[i].value
+                         : reduced_x[vars[i].reduced_index];
+  }
+  return x;
+}
+
+Solution solve_with_presolve(const Model& model,
+                             const SolveOptions& options) {
+  Presolved pre = presolve(model);
+  if (pre.infeasible) {
+    Solution s;
+    s.status = Status::kInfeasible;
+    return s;
+  }
+  Solution reduced = solve(pre.reduced, options);
+  if (reduced.status != Status::kOptimal) return reduced;
+  Solution out;
+  out.status = Status::kOptimal;
+  out.iterations = reduced.iterations;
+  out.x = pre.postsolve(reduced.x);
+  out.objective = model.objective_value(out.x);
+  return out;
+}
+
+}  // namespace nat::lp

@@ -1,0 +1,48 @@
+// LP presolve: cheap reductions applied before the simplex.
+//
+// Implemented rules (iterated to a fixed point):
+//   * fixed variables (lower == upper) are substituted out;
+//   * empty rows are checked for consistency and dropped;
+//   * singleton rows (one variable) become bound tightenings and are
+//     dropped;
+//   * crossing bounds are detected as infeasibility immediately.
+//
+// The result carries a postsolve map so a solution of the reduced
+// model lifts back to the original variable space. solve_with_presolve
+// is a drop-in replacement for lp::solve.
+#pragma once
+
+#include <vector>
+
+#include "lp/dense_simplex.hpp"
+#include "lp/model.hpp"
+
+namespace nat::lp {
+
+struct Presolved {
+  Model reduced;
+  bool infeasible = false;   // detected before any simplex ran
+  int rows_removed = 0;
+  int vars_removed = 0;
+
+  /// Lifts a reduced-model solution back to original variables.
+  std::vector<double> postsolve(const std::vector<double>& reduced_x) const;
+
+  // Per original variable: fixed value, or index into the reduced model.
+  struct VarState {
+    bool fixed = false;
+    double value = 0.0;  // valid when fixed
+    int reduced_index = -1;
+  };
+  std::vector<VarState> vars;
+};
+
+Presolved presolve(const Model& model);
+
+/// presolve + solve + postsolve. Status and objective match lp::solve
+/// (up to tolerances); the solution vector covers all original
+/// variables.
+Solution solve_with_presolve(const Model& model,
+                             const SolveOptions& options = {});
+
+}  // namespace nat::lp

@@ -1,0 +1,375 @@
+#include "numeric/bigint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace nat::num {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffULL));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  NAT_CHECK_MSG(!s.empty(), "BigInt::from_string: empty string");
+  bool neg = false;
+  std::size_t pos = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    pos = 1;
+  }
+  NAT_CHECK_MSG(pos < s.size(), "BigInt::from_string: sign only");
+  BigInt r;
+  for (; pos < s.size(); ++pos) {
+    NAT_CHECK_MSG(std::isdigit(static_cast<unsigned char>(s[pos])),
+                  "BigInt::from_string: bad digit in '" << s << "'");
+    r *= BigInt(10);
+    r += BigInt(s[pos] - '0');
+  }
+  if (neg && !r.is_zero()) r.negative_ = true;
+  return r;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::compare_mag(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& lo = a.size() >= b.size() ? b : a;
+  const auto& hi = a.size() >= b.size() ? a : b;
+  std::vector<std::uint32_t> r;
+  r.reserve(hi.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    std::uint64_t sum = carry + hi[i] + (i < lo.size() ? lo[i] : 0);
+    r.push_back(static_cast<std::uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry) r.push_back(static_cast<std::uint32_t>(carry));
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  NAT_DCHECK(compare_mag(a, b) >= 0);
+  std::vector<std::uint32_t> r;
+  r.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> r(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] + r[i + j] +
+                          carry;
+      r[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = r[k] + carry;
+      r[k] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+// Knuth TAOCP vol.2 algorithm D, base 2^32.
+void BigInt::div_mod_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b,
+                         std::vector<std::uint32_t>& quot,
+                         std::vector<std::uint32_t>& rem) {
+  NAT_CHECK_MSG(!b.empty(), "BigInt division by zero");
+  quot.clear();
+  rem.clear();
+  if (compare_mag(a, b) < 0) {
+    rem = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division by a single limb.
+    quot.assign(a.size(), 0);
+    std::uint64_t r = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (r << 32) | a[i];
+      quot[i] = static_cast<std::uint32_t>(cur / b[0]);
+      r = cur % b[0];
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (r) rem.push_back(static_cast<std::uint32_t>(r));
+    return;
+  }
+
+  // Normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (std::uint32_t top = b.back(); !(top & 0x80000000u); top <<= 1) ++shift;
+  const std::size_t n = b.size();
+  const std::size_t m = a.size() - n;
+
+  auto shl = [shift](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<std::uint32_t>(static_cast<std::uint64_t>(v[i])
+                                           << shift);
+      if (shift)
+        out[i + 1] |= static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(v[i]) >> (32 - shift));
+    }
+    return out;
+  };
+
+  std::vector<std::uint32_t> u = shl(a);            // size a.size()+1
+  std::vector<std::uint32_t> v = shl(b);            // top limb normalized
+  v.resize(n);                                      // drop the spare limb
+  NAT_DCHECK(v.back() & 0x80000000u);
+
+  quot.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate quotient digit qhat from the top two limbs of u.
+    std::uint64_t top2 =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = top2 / v[n - 1];
+    std::uint64_t rhat = top2 % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-subtract qhat*v from u[j..j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t prod = qhat * v[i] + carry;
+      carry = prod >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(prod & 0xffffffffULL) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // qhat was one too large (rare): add v back and decrement qhat.
+      diff += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
+        c2 = sum >> 32;
+      }
+      diff += static_cast<std::int64_t>(c2);
+      diff &= static_cast<std::int64_t>(kBase) - 1;
+    }
+    u[j + n] = static_cast<std::uint32_t>(diff);
+    quot[j] = static_cast<std::uint32_t>(qhat);
+  }
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+
+  // Denormalize the remainder (shift right).
+  rem.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rem[i] >>= shift;
+      if (i + 1 < n)
+        rem[i] |= static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(rem.size() > i + 1 ? u[i + 1] : 0)
+            << (32 - shift));
+    }
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (negative_ == o.negative_) {
+    limbs_ = add_mag(limbs_, o.limbs_);
+  } else {
+    int c = compare_mag(limbs_, o.limbs_);
+    if (c == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (c > 0) {
+      limbs_ = sub_mag(limbs_, o.limbs_);
+    } else {
+      limbs_ = sub_mag(o.limbs_, limbs_);
+      negative_ = o.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) { return *this += -o; }
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  negative_ = negative_ != o.negative_;
+  limbs_ = mul_mag(limbs_, o.limbs_);
+  trim();
+  return *this;
+}
+
+void BigInt::div_mod(const BigInt& a, const BigInt& b, BigInt& quot,
+                     BigInt& rem) {
+  std::vector<std::uint32_t> q, r;
+  div_mod_mag(a.limbs_, b.limbs_, q, r);
+  quot.limbs_ = std::move(q);
+  quot.negative_ = a.negative_ != b.negative_;
+  quot.trim();
+  rem.limbs_ = std::move(r);
+  rem.negative_ = a.negative_;
+  rem.trim();
+}
+
+BigInt& BigInt::operator/=(const BigInt& o) {
+  BigInt q, r;
+  div_mod(*this, o, q, r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& o) {
+  BigInt q, r;
+  div_mod(*this, o, q, r);
+  *this = std::move(r);
+  return *this;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
+  int c = compare_mag(a.limbs_, b.limbs_);
+  return a.negative_ ? -c : c;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt q, r;
+    div_mod(a, b, q, r);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t mag =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return mag <= 0x8000000000000000ULL;
+  return mag <= 0x7fffffffffffffffULL;
+}
+
+std::int64_t BigInt::to_int64() const {
+  NAT_CHECK_MSG(fits_int64(), "BigInt::to_int64 overflow: " << to_string());
+  std::uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() > 1) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return negative_ ? -static_cast<std::int64_t>(mag - 1) - 1
+                   : static_cast<std::int64_t>(mag);
+}
+
+double BigInt::to_double() const {
+  double r = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r = r * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -r : r;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string digits;
+  // Repeated short division by 10^9 to pull out decimal chunks.
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_string();
+}
+
+}  // namespace nat::num

@@ -1,0 +1,108 @@
+// Arbitrary-precision signed integer (sign + base-2^32 magnitude).
+//
+// This is the substrate for exact rational arithmetic in the exact
+// simplex solver (src/lp/exact_simplex.*), which certifies LP optima
+// on small instances where floating-point values feed integrality-gap
+// tables. Schoolbook algorithms throughout (Knuth vol.2 algorithm D for
+// division): LP coefficients here stay small, so asymptotics do not
+// matter — correctness does, and the test suite cross-checks every
+// operation against __int128.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nat::num {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT: implicit by design, mirrors int
+  static BigInt from_string(std::string_view s);
+
+  bool is_zero() const { return limbs_.empty(); }
+  /// -1, 0, +1.
+  int sign() const { return limbs_.empty() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
+  BigInt& operator*=(const BigInt& o);
+  BigInt& operator/=(const BigInt& o);  // truncates toward zero
+  BigInt& operator%=(const BigInt& o);  // sign follows dividend
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  /// Quotient and remainder in one division (rem sign = dividend sign).
+  static void div_mod(const BigInt& a, const BigInt& b, BigInt& quot,
+                      BigInt& rem);
+
+  /// Three-way compare: negative/zero/positive as a<b / a==b / a>b.
+  static int compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) >= 0;
+  }
+
+  static BigInt gcd(BigInt a, BigInt b);  // non-negative result
+
+  /// True iff the value fits in int64_t.
+  bool fits_int64() const;
+  /// Value as int64_t; NAT_CHECKs fits_int64().
+  std::int64_t to_int64() const;
+  /// Nearest double (may lose precision / overflow to inf for huge values).
+  double to_double() const;
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+ private:
+  // Little-endian base-2^32 magnitude; empty vector means zero, and a
+  // zero value always has negative_ == false (canonical form).
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+
+  void trim();
+  static int compare_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static void div_mod_mag(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b,
+                          std::vector<std::uint32_t>& quot,
+                          std::vector<std::uint32_t>& rem);
+};
+
+}  // namespace nat::num

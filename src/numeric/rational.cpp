@@ -1,0 +1,115 @@
+#include "numeric/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace nat::num {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  NAT_CHECK_MSG(!den_.is_zero(), "Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.sign() < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  num_ = num_ * o.den_ + o.num_ * den_;
+  den_ = den_ * o.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) {
+  num_ = num_ * o.den_ - o.num_ * den_;
+  den_ = den_ * o.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& o) {
+  num_ *= o.num_;
+  den_ *= o.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  NAT_CHECK_MSG(!o.is_zero(), "Rational: division by zero");
+  num_ *= o.den_;
+  den_ *= o.num_;
+  normalize();
+  return *this;
+}
+
+int Rational::compare(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return BigInt::compare(a.num_ * b.den_, b.num_ * a.den_);
+}
+
+BigInt Rational::floor() const {
+  BigInt q, r;
+  BigInt::div_mod(num_, den_, q, r);
+  if (r.sign() < 0) q -= BigInt(1);  // truncation rounds toward zero
+  return q;
+}
+
+BigInt Rational::ceil() const {
+  BigInt q, r;
+  BigInt::div_mod(num_, den_, q, r);
+  if (r.sign() > 0) q += BigInt(1);
+  return q;
+}
+
+double Rational::to_double() const {
+  return num_.to_double() / den_.to_double();
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.to_string();
+}
+
+Rational Rational::from_double_exact(double v) {
+  NAT_CHECK_MSG(std::isfinite(v), "from_double_exact: non-finite input");
+  if (v == 0.0) return Rational(0);
+  int exp = 0;
+  double mant = std::frexp(v, &exp);  // v = mant * 2^exp, |mant| in [0.5, 1)
+  // Scale the mantissa to a 53-bit integer; exactly representable.
+  auto mant_int = static_cast<std::int64_t>(std::ldexp(mant, 53));
+  exp -= 53;
+  BigInt num(mant_int);
+  BigInt den(1);
+  const BigInt two(2);
+  for (int i = 0; i < exp; ++i) num *= two;
+  for (int i = 0; i < -exp; ++i) den *= two;
+  return Rational(std::move(num), std::move(den));
+}
+
+}  // namespace nat::num

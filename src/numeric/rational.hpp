@@ -1,0 +1,81 @@
+// Exact rational number: normalized BigInt fraction (den > 0, gcd = 1).
+//
+// Used by the exact simplex solver and by tests that certify LP values
+// on integrality-gap families (e.g. "the CW LP value on the Lemma 5.1
+// family is exactly g+2"), where floating point would only show
+// "close to".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "numeric/bigint.hpp"
+
+namespace nat::num {
+
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT: implicit
+  Rational(BigInt num, BigInt den);
+  static Rational from_int64(std::int64_t num, std::int64_t den) {
+    return Rational(BigInt(num), BigInt(den));
+  }
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  int sign() const { return num_.sign(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  static int compare(const Rational& a, const Rational& b);
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return compare(a, b) >= 0;
+  }
+
+  /// Largest integer <= value / smallest integer >= value.
+  BigInt floor() const;
+  BigInt ceil() const;
+
+  double to_double() const;
+  /// "p/q" (or just "p" when q == 1).
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+  /// Exact value of a finite double (every finite double is m * 2^e).
+  static Rational from_double_exact(double v);
+
+ private:
+  BigInt num_;
+  BigInt den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+  void normalize();
+};
+
+}  // namespace nat::num

@@ -1,0 +1,76 @@
+#include "reductions/prefix_sum_cover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nat::red {
+
+void PscInstance::validate() const {
+  NAT_CHECK_MSG(k >= 0, "negative k");
+  for (const Vec& vec : u) {
+    NAT_CHECK_MSG(vec.size() == v.size(), "dimension mismatch");
+    for (std::int64_t x : vec) {
+      NAT_CHECK_MSG(x >= 1, "u entries must be positive (N+), got " << x);
+    }
+  }
+  for (std::int64_t x : v) NAT_CHECK_MSG(x >= 0, "negative target entry");
+}
+
+bool prefix_dominates(const Vec& sum, const Vec& target) {
+  NAT_CHECK(sum.size() == target.size());
+  std::int64_t ps = 0;
+  std::int64_t pt = 0;
+  for (std::size_t j = 0; j < sum.size(); ++j) {
+    ps += sum[j];
+    pt += target[j];
+    if (ps < pt) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool feasible_with_k(const PscInstance& instance, int k) {
+  const int n = static_cast<int>(instance.u.size());
+  if (k > n) return false;
+  const int d = instance.dim();
+  // Enumerate k-combinations of distinct indices.
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    return prefix_dominates(Vec(d, 0), instance.v);
+  }
+  for (;;) {
+    Vec sum(d, 0);
+    for (int i : idx) {
+      for (int j = 0; j < d; ++j) sum[j] += instance.u[i][j];
+    }
+    if (prefix_dominates(sum, instance.v)) return true;
+    // Next combination.
+    int pos = k - 1;
+    while (pos >= 0 && idx[pos] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (int i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool psc_feasible_brute_force(const PscInstance& instance) {
+  instance.validate();
+  return feasible_with_k(instance, instance.k);
+}
+
+std::optional<int> psc_minimum_brute_force(const PscInstance& instance) {
+  instance.validate();
+  const int n = static_cast<int>(instance.u.size());
+  for (int k = 0; k <= n; ++k) {
+    if (feasible_with_k(instance, k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nat::red

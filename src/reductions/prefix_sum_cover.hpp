@@ -1,0 +1,35 @@
+// Prefix Sum Cover (Section 6): given vectors u_1..u_n ∈ N₊^d, a target
+// v ∈ N^d and an integer k, pick k vectors whose sum prefix-dominates
+// v — i.e. every prefix sum of the chosen sum is >= the corresponding
+// prefix sum of v (the paper's ≺ relation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nat::red {
+
+using Vec = std::vector<std::int64_t>;
+
+struct PscInstance {
+  std::vector<Vec> u;  // all entries >= 1 (N₊), equal dimension d
+  Vec v;               // target, entries >= 0
+  int k = 0;
+
+  int dim() const { return static_cast<int>(v.size()); }
+  void validate() const;
+};
+
+/// sum ≺ target: every prefix sum of `sum` is >= that of `target`.
+bool prefix_dominates(const Vec& sum, const Vec& target);
+
+/// Exhaustive search over k-subsets of distinct indices; true iff some
+/// choice prefix-dominates v. Intended for small n (reduction tests).
+bool psc_feasible_brute_force(const PscInstance& instance);
+
+/// Smallest k' <= n for which a k'-subset prefix-dominates v
+/// (brute force); nullopt if even all n vectors do not.
+std::optional<int> psc_minimum_brute_force(const PscInstance& instance);
+
+}  // namespace nat::red

@@ -1,0 +1,71 @@
+#include "reductions/setcover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nat::red {
+
+void SetCoverInstance::validate() const {
+  NAT_CHECK_MSG(universe >= 0, "negative universe");
+  for (const auto& set : sets) {
+    for (int e : set) {
+      NAT_CHECK_MSG(e >= 0 && e < universe, "element out of range: " << e);
+    }
+  }
+}
+
+std::optional<int> setcover_minimum(const SetCoverInstance& instance) {
+  instance.validate();
+  NAT_CHECK_MSG(instance.universe <= 20, "universe too large for DP");
+  const int full = (1 << instance.universe) - 1;
+  std::vector<std::uint32_t> set_masks;
+  for (const auto& set : instance.sets) {
+    std::uint32_t mask = 0;
+    for (int e : set) mask |= 1u << e;
+    set_masks.push_back(mask);
+  }
+  constexpr int kInf = 1 << 28;
+  std::vector<int> dp(full + 1, kInf);
+  dp[0] = 0;
+  for (int mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    for (std::uint32_t sm : set_masks) {
+      const int next = static_cast<int>(mask | sm);
+      dp[next] = std::min(dp[next], dp[mask] + 1);
+    }
+  }
+  if (dp[full] == kInf) return std::nullopt;
+  return dp[full];
+}
+
+std::optional<std::vector<int>> setcover_greedy(
+    const SetCoverInstance& instance) {
+  instance.validate();
+  std::vector<bool> covered(instance.universe, false);
+  int remaining = instance.universe;
+  std::vector<int> chosen;
+  while (remaining > 0) {
+    int best = -1;
+    int best_gain = 0;
+    for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+      int gain = 0;
+      for (int e : instance.sets[s]) gain += covered[e] ? 0 : 1;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) return std::nullopt;  // uncoverable element
+    chosen.push_back(best);
+    for (int e : instance.sets[best]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace nat::red

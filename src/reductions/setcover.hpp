@@ -1,0 +1,26 @@
+// Set Cover: the NP-complete anchor of the Section 6 reduction chain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nat::red {
+
+struct SetCoverInstance {
+  int universe = 0;                    // elements 0..universe-1
+  std::vector<std::vector<int>> sets;  // each sorted, elements in range
+
+  void validate() const;
+};
+
+/// Minimum cover size via bitmask DP over the universe (exact;
+/// universe must be <= 20). Nullopt when no cover exists.
+std::optional<int> setcover_minimum(const SetCoverInstance& instance);
+
+/// Greedy H_g-approximation (largest uncovered gain first); returns the
+/// chosen set indices, empty when no cover exists.
+std::optional<std::vector<int>> setcover_greedy(
+    const SetCoverInstance& instance);
+
+}  // namespace nat::red

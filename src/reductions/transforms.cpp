@@ -1,0 +1,114 @@
+#include "reductions/transforms.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nat::red {
+
+PscInstance setcover_to_psc(const SetCoverInstance& instance, int k) {
+  instance.validate();
+  NAT_CHECK(k >= 1);
+  const int d = instance.universe;
+  NAT_CHECK(d >= 1);
+
+  // 0/1 membership vectors (1-indexed j in the math; [.]_0 := 0).
+  auto membership = [&](const std::vector<int>& set) {
+    Vec m(d, 0);
+    for (int e : set) m[e] = 1;
+    return m;
+  };
+
+  // Difference encoding with slope 2(d - j). NOTE (DESIGN.md §5): the
+  // paper writes offset 2 + (d - j), but its own monotonicity algebra
+  // drops a term — with 0/1 inputs that offset does not make u'
+  // non-increasing, which hop 2 requires. Slope 2 telescopes
+  // identically (the per-index constants cancel between Σu' and v', so
+  // the prefix-domination test reduces to the set-cover domination
+  // test) and does guarantee the ordering.
+  PscInstance out;
+  out.k = k;
+  out.v.resize(d);
+  for (int j = 1; j <= d; ++j) {
+    const std::int64_t vj = 1;                  // target is 1^d
+    const std::int64_t vjm1 = (j >= 2) ? 1 : 0;  // [v]_0 = 0
+    out.v[j - 1] = vj - vjm1 + 2 * k + 2 * static_cast<std::int64_t>(k) *
+                                           (d - j);
+  }
+  for (const auto& set : instance.sets) {
+    const Vec m = membership(set);
+    Vec enc(d);
+    for (int j = 1; j <= d; ++j) {
+      const std::int64_t uj = m[j - 1];
+      const std::int64_t ujm1 = (j >= 2) ? m[j - 2] : 0;
+      enc[j - 1] = uj - ujm1 + 2 + 2 * static_cast<std::int64_t>(d - j);
+    }
+    out.u.push_back(std::move(enc));
+  }
+  out.validate();
+  // Hop 2 requires non-increasing vectors; certify the encoding.
+  for (const Vec& vec : out.u) {
+    NAT_CHECK(std::is_sorted(vec.rbegin(), vec.rend()));
+  }
+  NAT_CHECK(std::is_sorted(out.v.rbegin(), out.v.rend()));
+  return out;
+}
+
+PscToActiveTimeResult psc_to_active_time(const PscInstance& psc) {
+  psc.validate();
+  const int n = static_cast<int>(psc.u.size());
+  const int d = psc.dim();
+  NAT_CHECK(n >= 1 && d >= 1);
+  for (const Vec& vec : psc.u) {
+    NAT_CHECK_MSG(std::is_sorted(vec.rbegin(), vec.rend()),
+                  "hop 2 requires non-increasing u vectors");
+  }
+  NAT_CHECK_MSG(std::is_sorted(psc.v.rbegin(), psc.v.rend()),
+                "hop 2 requires a non-increasing target");
+
+  std::int64_t W = 1;
+  for (const Vec& vec : psc.u) {
+    for (std::int64_t x : vec) W = std::max(W, x);
+  }
+  for (std::int64_t x : psc.v) W = std::max(W, x);
+
+  const std::int64_t p = static_cast<std::int64_t>(d) * W;  // machines = g
+
+  PscToActiveTimeResult out;
+  out.W = W;
+  out.instance.g = p;
+  out.non_special_slots = static_cast<std::int64_t>(n) * (W - 1);
+
+  for (int i = 1; i <= n; ++i) {
+    const Vec& u = psc.u[i - 1];
+    const at::Time block_lo = static_cast<at::Time>(i - 1) * W;
+    // S1: rigid unit jobs pinning every non-special slot of the block.
+    for (std::int64_t w = 2; w <= W; ++w) {
+      std::int64_t at_least_w = 0;
+      for (std::int64_t x : u) at_least_w += (x >= w) ? 1 : 0;
+      const std::int64_t count = p - at_least_w;
+      const at::Time slot = block_lo + w - 1;
+      for (std::int64_t c = 0; c < count; ++c) {
+        out.instance.jobs.push_back(at::Job{slot, slot + 1, 1});
+      }
+    }
+    // S2: flexible unit jobs over the whole block.
+    std::int64_t total = 0;
+    for (std::int64_t x : u) total += x;
+    for (std::int64_t c = 0; c < total - d; ++c) {
+      out.instance.jobs.push_back(
+          at::Job{block_lo, block_lo + W, 1});
+    }
+  }
+  // S3: target jobs spanning the whole horizon.
+  for (std::int64_t len : psc.v) {
+    if (len == 0) continue;
+    out.instance.jobs.push_back(
+        at::Job{0, static_cast<at::Time>(n) * W, len});
+  }
+  out.instance.validate();
+  NAT_CHECK(out.instance.is_laminar());
+  return out;
+}
+
+}  // namespace nat::red

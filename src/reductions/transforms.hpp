@@ -1,0 +1,42 @@
+// The Section 6 reduction chain, both hops:
+//
+//   Set Cover  →  Prefix Sum Cover  →  nested active-time.
+//
+// Hop 1 (proof of NP-completeness of PSC): each set becomes the
+// difference-encoded vector u'_i[j] = u_i[j] − u_i[j−1] + 2 + (d − j)
+// and the all-ones target becomes v'[j] = v[j] − v[j−1] + 2k + k(d − j)
+// (1-indexed j, index 0 defined as 0). A cover of size ≤ k exists iff
+// k of the u' prefix-dominate v'.
+//
+// Hop 2: a PSC instance (u, v, k) with max scalar W and dimension d
+// becomes a nested active-time instance on g = dW parallel capacity:
+//   S1: for each vector i and w ∈ [2, W], g − |{j : u_i[j] >= w}| rigid
+//       unit jobs pinned to slot (i−1)W + w − 1;
+//   S2: Σ_j u_i[j] − d flexible unit jobs with window [(i−1)W, iW);
+//   S3: for each j, one job of length v[j] with window [0, nW).
+// All non-special slots must open; opening the special slot of block i
+// frees exactly the profile u_i for S3 (Lemma 6.2), so
+//   OPT = n(W−1) + (minimum feasible k of the PSC instance).
+#pragma once
+
+#include "activetime/instance.hpp"
+#include "reductions/prefix_sum_cover.hpp"
+#include "reductions/setcover.hpp"
+
+namespace nat::red {
+
+/// Hop 1. Requires k >= 1 and universe >= 1; sets are encoded as 0/1
+/// membership vectors first.
+PscInstance setcover_to_psc(const SetCoverInstance& instance, int k);
+
+struct PscToActiveTimeResult {
+  at::Instance instance;
+  std::int64_t non_special_slots = 0;  // n * (W - 1)
+  std::int64_t W = 0;                  // max scalar in the PSC data
+};
+
+/// Hop 2. Requires nondecreasing-prefix ("ordered") inputs as the paper
+/// does: u_i[1] >= u_i[2] >= ... and v[1] >= v[2] >= ..., all u >= 1.
+PscToActiveTimeResult psc_to_active_time(const PscInstance& instance);
+
+}  // namespace nat::red

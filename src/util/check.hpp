@@ -1,0 +1,54 @@
+// Lightweight runtime-check macros used across the library.
+//
+// NAT_CHECK is always on (it guards library invariants and user input);
+// NAT_DCHECK compiles out in NDEBUG builds and guards internal
+// assumptions that are expensive to test on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nat::util {
+
+/// Thrown when a NAT_CHECK fails. Distinct from std::logic_error so
+/// tests can assert on violations produced by this library specifically.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace nat::util
+
+#define NAT_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::nat::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NAT_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream nat_check_os_;                          \
+      nat_check_os_ << msg;                                      \
+      ::nat::util::detail::check_failed(#expr, __FILE__,         \
+                                        __LINE__,                \
+                                        nat_check_os_.str());    \
+    }                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define NAT_DCHECK(expr) ((void)0)
+#else
+#define NAT_DCHECK(expr) NAT_CHECK(expr)
+#endif

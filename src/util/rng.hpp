@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// All generators and sweeps in this repository take explicit seeds so
+// every table in EXPERIMENTS.md is reproducible bit-for-bit. We use
+// xoshiro256++ (public-domain algorithm by Blackman & Vigna) seeded via
+// splitmix64, rather than std::mt19937, so that streams are cheap to
+// fork per instance inside parallel sweeps.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace nat::util {
+
+/// splitmix64 step; used for seeding and for deriving per-task seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses Lemire-style rejection
+  /// to avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    NAT_CHECK_MSG(lo <= hi, "uniform_int: lo=" << lo << " hi=" << hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t reject_above = max() - max() % range;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= reject_above);
+    return lo + static_cast<std::int64_t>(v % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child stream; useful for per-instance seeds
+  /// in parallel sweeps (same child index => same stream, regardless of
+  /// scheduling).
+  Rng fork(std::uint64_t index) {
+    std::uint64_t sm = s_[0] ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace nat::util

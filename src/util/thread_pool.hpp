@@ -1,0 +1,58 @@
+// Fixed-size thread pool and a blocking parallel_for built on it.
+//
+// Experiment sweeps run many independent (instance, solver) cells; the
+// pool lets bench binaries saturate the machine while keeping results
+// deterministic: work is partitioned by index, never by arrival order,
+// and each cell derives its RNG stream from its own index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nat::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when work arrives / stop
+  std::condition_variable cv_idle_;   // signalled when a task completes
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for experiment sweeps (created on first use).
+ThreadPool& global_pool();
+
+/// Runs body(i) for i in [begin, end) across the pool and blocks until
+/// all iterations complete. `grain` iterations are batched per task to
+/// amortize queue overhead. Safe to call from one thread at a time.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace nat::util

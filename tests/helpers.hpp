@@ -1,0 +1,71 @@
+// Shared fixtures for the active-time test suites.
+#pragma once
+
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "instances/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nat::at::testing {
+
+/// Small laminar instance used across suites:
+///   root window [0, 10), child [2, 5), grandchild [2, 3), sibling [6, 9).
+inline Instance small_nested() {
+  Instance instance;
+  instance.g = 2;
+  instance.jobs = {
+      Job{0, 10, 3},  // root window
+      Job{2, 5, 2},   // child
+      Job{2, 3, 1},   // grandchild
+      Job{6, 9, 2},   // sibling child
+      Job{6, 9, 1},
+  };
+  return instance;
+}
+
+/// A non-laminar (crossing windows) instance.
+inline Instance crossing() {
+  Instance instance;
+  instance.g = 2;
+  instance.jobs = {Job{0, 4, 1}, Job{2, 6, 1}};
+  return instance;
+}
+
+/// Contended instance (near-saturated groups + long spanning jobs),
+/// the regime where the strengthened LP is genuinely fractional.
+inline Instance contended(int id) {
+  gen::ContendedParams params;
+  util::Rng knobs(5000 + id);
+  params.g = knobs.uniform_int(2, 6);
+  params.min_groups = 2;
+  params.max_groups = 5;
+  params.unit_slack = knobs.uniform_int(0, 2);
+  params.max_long_jobs = static_cast<int>(knobs.uniform_int(1, 3));
+  util::Rng rng(300 + id);
+  return gen::random_contended(params, rng);
+}
+
+/// Mixed family: even ids draw from the loose random-laminar pool,
+/// odd ids from the contended pool (fractional LPs).
+inline Instance random_small(int id, std::int64_t g = 0);
+
+inline Instance mixed(int id) {
+  if (id % 2 == 1) return contended(id / 2);
+  return random_small(id / 2);
+}
+
+/// Random laminar instance with small parameters, deterministic per id.
+inline Instance random_small(int id, std::int64_t g) {
+  gen::RandomLaminarParams params;
+  util::Rng knobs(9000 + id);
+  params.g = g > 0 ? g : knobs.uniform_int(1, 4);
+  params.max_depth = static_cast<int>(knobs.uniform_int(1, 3));
+  params.max_children = static_cast<int>(knobs.uniform_int(1, 3));
+  params.max_jobs_per_node = static_cast<int>(knobs.uniform_int(1, 3));
+  params.max_processing = knobs.uniform_int(1, 4);
+  util::Rng rng(100 + id);
+  return gen::random_laminar(params, rng);
+}
+
+}  // namespace nat::at::testing

@@ -1,0 +1,205 @@
+#include "numeric/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace nat::num {
+namespace {
+
+using util::Rng;
+
+TEST(BigInt, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(1).to_string(), "1");
+  EXPECT_EQ(BigInt(-1).to_string(), "-1");
+  EXPECT_EQ(BigInt(1234567890123456789LL).to_string(), "1234567890123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).to_string(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).to_string(), "9223372036854775807");
+}
+
+TEST(BigInt, ZeroIsCanonical) {
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_EQ(BigInt(0).sign(), 0);
+  EXPECT_EQ((BigInt(5) - BigInt(5)).sign(), 0);
+  EXPECT_EQ((-BigInt(0)).sign(), 0);
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  const char* cases[] = {"0",  "1",     "-1",   "42",
+                         "-42", "999999999999999999999999999999",
+                         "-123456789012345678901234567890"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s) << s;
+  }
+  EXPECT_EQ(BigInt::from_string("+7").to_string(), "7");
+  EXPECT_EQ(BigInt::from_string("-0").to_string(), "0");
+  EXPECT_EQ(BigInt::from_string("007").to_string(), "7");
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), util::CheckError);
+  EXPECT_THROW(BigInt::from_string("-"), util::CheckError);
+  EXPECT_THROW(BigInt::from_string("12a"), util::CheckError);
+}
+
+TEST(BigInt, ToInt64Boundaries) {
+  EXPECT_EQ(BigInt(INT64_MIN).to_int64(), INT64_MIN);
+  EXPECT_EQ(BigInt(INT64_MAX).to_int64(), INT64_MAX);
+  EXPECT_TRUE(BigInt(INT64_MIN).fits_int64());
+  BigInt too_big = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(too_big.fits_int64());
+  EXPECT_THROW(too_big.to_int64(), util::CheckError);
+  BigInt min_minus = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(min_minus.fits_int64());
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), util::CheckError);
+  EXPECT_THROW(BigInt(1) % BigInt(0), util::CheckError);
+}
+
+// Randomized cross-check of ring operations against __int128.
+TEST(BigInt, RandomizedAgainstInt128) {
+  Rng rng(20260707);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::int64_t a = rng.uniform_int(-2'000'000'000LL, 2'000'000'000LL);
+    const std::int64_t b = rng.uniform_int(-2'000'000'000LL, 2'000'000'000LL);
+    const BigInt A(a), B(b);
+    EXPECT_EQ((A + B).to_int64(), a + b);
+    EXPECT_EQ((A - B).to_int64(), a - b);
+    __int128 prod = static_cast<__int128>(a) * b;
+    BigInt P = A * B;
+    // Compare via string to cover the >64-bit range.
+    __int128 pa = prod < 0 ? -prod : prod;
+    std::string ps;
+    if (pa == 0) ps = "0";
+    while (pa > 0) {
+      ps.insert(ps.begin(), static_cast<char>('0' + static_cast<int>(pa % 10)));
+      pa /= 10;
+    }
+    if (prod < 0) ps.insert(ps.begin(), '-');
+    EXPECT_EQ(P.to_string(), ps);
+    if (b != 0) {
+      EXPECT_EQ((A / B).to_int64(), a / b) << a << "/" << b;
+      EXPECT_EQ((A % B).to_int64(), a % b) << a << "%" << b;
+    }
+  }
+}
+
+TEST(BigInt, RandomizedDivModIdentity) {
+  Rng rng(7);
+  for (int iter = 0; iter < 1000; ++iter) {
+    // Build operands wider than 64 bits to exercise Knuth D.
+    BigInt a = BigInt(rng.uniform_int(INT64_MIN / 2, INT64_MAX / 2)) *
+                   BigInt(rng.uniform_int(1, INT64_MAX / 2)) +
+               BigInt(rng.uniform_int(0, 1'000'000));
+    BigInt b = BigInt(rng.uniform_int(1, INT64_MAX / 2)) *
+                   BigInt(rng.uniform_int(1, 1'000'000));
+    if (rng.chance(0.5)) a = -a;
+    if (rng.chance(0.5)) b = -b;
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ((q * b + r).to_string(), a.to_string());
+    EXPECT_TRUE(r.abs() < b.abs());
+    // Remainder sign follows the dividend (truncated division).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigInt, DivisionBoundaryLimbs) {
+  // Exhaustive sweep over boundary limb values (0, 1, 2^31, 2^32-1,
+  // ...) for 3-limb / 2-limb divisions — the shapes that exercise
+  // Knuth D's qhat-overestimate decrement and the rare add-back
+  // branch. Verified via the division identity.
+  const std::uint64_t boundary[] = {0ULL,          1ULL,
+                                    0x7fffffffULL, 0x80000000ULL,
+                                    0x80000001ULL, 0xfffffffeULL,
+                                    0xffffffffULL};
+  const BigInt base = BigInt(1LL << 32);
+  for (std::uint64_t hi : boundary) {
+    for (std::uint64_t mid : boundary) {
+      for (std::uint64_t lo : boundary) {
+        BigInt a = (BigInt(static_cast<std::int64_t>(hi)) * base +
+                    BigInt(static_cast<std::int64_t>(mid))) *
+                       base +
+                   BigInt(static_cast<std::int64_t>(lo));
+        for (std::uint64_t vh : boundary) {
+          if (vh == 0) continue;  // need a genuine 2-limb divisor
+          for (std::uint64_t vl : {0ULL, 1ULL, 0xffffffffULL}) {
+            BigInt b = BigInt(static_cast<std::int64_t>(vh)) * base +
+                       BigInt(static_cast<std::int64_t>(vl));
+            BigInt q, r;
+            BigInt::div_mod(a, b, q, r);
+            ASSERT_EQ((q * b + r).to_string(), a.to_string())
+                << hi << ' ' << mid << ' ' << lo << " / " << vh << ' '
+                << vl;
+            ASSERT_TRUE(r.abs() < b.abs());
+            ASSERT_GE(r.sign(), 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BigInt, CompareTotalOrder) {
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::int64_t a = rng.uniform_int(-1'000'000, 1'000'000);
+    const std::int64_t b = rng.uniform_int(-1'000'000, 1'000'000);
+    EXPECT_EQ(BigInt(a) < BigInt(b), a < b);
+    EXPECT_EQ(BigInt(a) == BigInt(b), a == b);
+    EXPECT_EQ(BigInt(a) >= BigInt(b), a >= b);
+  }
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  Rng rng(123);
+  auto gcd64 = [](std::int64_t x, std::int64_t y) {
+    x = x < 0 ? -x : x;
+    y = y < 0 ? -y : y;
+    while (y) {
+      std::int64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    return x;
+  };
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::int64_t a = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+    const std::int64_t b = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+    EXPECT_EQ(BigInt::gcd(BigInt(a), BigInt(b)).to_int64(), gcd64(a, b));
+  }
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(-5)).to_int64(), 5);
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).to_double(), -12345.0);
+  BigInt big = BigInt(1LL << 62) * BigInt(4);  // 2^64
+  EXPECT_DOUBLE_EQ(big.to_double(), 18446744073709551616.0);
+}
+
+TEST(BigInt, LargeMultiplicationKnownValue) {
+  BigInt a = BigInt::from_string("123456789012345678901234567890");
+  BigInt b = BigInt::from_string("987654321098765432109876543210");
+  EXPECT_EQ((a * b).to_string(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigInt, LargeDivisionKnownValue) {
+  BigInt a = BigInt::from_string(
+      "121932631137021795226185032733622923332237463801111263526900");
+  BigInt b = BigInt::from_string("987654321098765432109876543210");
+  EXPECT_EQ((a / b).to_string(), "123456789012345678901234567890");
+  EXPECT_TRUE((a % b).is_zero());
+}
+
+}  // namespace
+}  // namespace nat::num

@@ -1,0 +1,134 @@
+#include "lp/bounded_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/exact_simplex.hpp"
+#include "util/rng.hpp"
+
+namespace nat::lp {
+namespace {
+
+TEST(BoundedSimplex, TrivialAndBounds) {
+  // min -x - y with x in [1, 2], y in [0, 3], x + y <= 4.
+  Model m;
+  int x = m.add_variable("x", 1.0, 2.0, -1.0);
+  int y = m.add_variable("y", 0.0, 3.0, -1.0);
+  m.add_row(Sense::kLe, 4.0, {{x, 1.0}, {y, 1.0}});
+  Solution s = solve_bounded(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-8);
+}
+
+TEST(BoundedSimplex, PureBoundFlipOptimum) {
+  // No constraints at all: minimize -x with x in [0, 5] — the optimum
+  // is reached by a single bound flip, no pivots.
+  Model m;
+  int x = m.add_variable("x", 0.0, 5.0, -1.0);
+  m.add_row(Sense::kLe, 100.0, {{x, 1.0}});  // slack row, never binding
+  Solution s = solve_bounded(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 5.0, 1e-9);
+}
+
+TEST(BoundedSimplex, StatusesMatchPlainBackend) {
+  // Infeasible.
+  {
+    Model m;
+    int x = m.add_variable("x", 0.0, 1.0, 1.0);
+    m.add_row(Sense::kGe, 2.0, {{x, 1.0}});
+    EXPECT_EQ(solve_bounded(m).status, Status::kInfeasible);
+  }
+  // Unbounded.
+  {
+    Model m;
+    int x = m.add_variable("x", 0.0, kInf, -1.0);
+    m.add_row(Sense::kGe, 0.0, {{x, 1.0}});
+    EXPECT_EQ(solve_bounded(m).status, Status::kUnbounded);
+  }
+  // Equalities.
+  {
+    Model m;
+    int x = m.add_variable("x", 0.0, kInf, 1.0);
+    int y = m.add_variable("y", 0.0, kInf, 1.0);
+    m.add_row(Sense::kEq, 4.0, {{x, 1.0}, {y, 2.0}});
+    m.add_row(Sense::kEq, 1.0, {{x, 1.0}, {y, -1.0}});
+    Solution s = solve_bounded(m);
+    ASSERT_EQ(s.status, Status::kOptimal);
+    EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+    EXPECT_NEAR(s.x[y], 1.0, 1e-8);
+  }
+}
+
+TEST(BoundedSimplex, FixedVariablesAreInert) {
+  Model m;
+  int x = m.add_variable("x", 3.0, 3.0, -10.0);  // fixed; cost irrelevant
+  int y = m.add_variable("y", 0.0, kInf, 1.0);
+  m.add_row(Sense::kGe, 5.0, {{x, 1.0}, {y, 1.0}});
+  Solution s = solve_bounded(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-8);
+}
+
+TEST(BoundedSimplex, FreeVariable) {
+  Model m;
+  int x = m.add_variable("x", -kInf, kInf, 1.0);
+  m.add_row(Sense::kGe, -7.0, {{x, 1.0}});
+  Solution s = solve_bounded(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -7.0, 1e-8);
+}
+
+// Differential sweep against both existing backends, with heavy use of
+// finite bounds (the feature under test).
+class BoundedAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedAgreement, MatchesPlainAndExactBackends) {
+  util::Rng rng(81000 + GetParam());
+  const int nvars = static_cast<int>(rng.uniform_int(1, 7));
+  const int nrows = static_cast<int>(rng.uniform_int(1, 8));
+  Model m;
+  for (int i = 0; i < nvars; ++i) {
+    const double lo = static_cast<double>(rng.uniform_int(0, 2));
+    const double hi =
+        rng.chance(0.7) ? lo + static_cast<double>(rng.uniform_int(0, 7))
+                        : kInf;
+    m.add_variable("v", lo, hi,
+                   static_cast<double>(rng.uniform_int(-4, 4)));
+  }
+  for (int r = 0; r < nrows; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i < nvars; ++i) {
+      if (rng.chance(0.6)) {
+        row.push_back({i, static_cast<double>(rng.uniform_int(-3, 3))});
+      }
+    }
+    if (row.empty()) row.push_back({0, 1.0});
+    const Sense sense = rng.chance(0.3)   ? Sense::kEq
+                        : rng.chance(0.5) ? Sense::kGe
+                                          : Sense::kLe;
+    m.add_row(sense, static_cast<double>(rng.uniform_int(-6, 10)), row);
+  }
+  Solution plain = solve(m);
+  Solution bounded = solve_bounded(m);
+  ASSERT_NE(plain.status, Status::kIterLimit);
+  ASSERT_NE(bounded.status, Status::kIterLimit) << "bounded hit the cap";
+  EXPECT_EQ(bounded.status, plain.status);
+  if (plain.status == Status::kOptimal) {
+    EXPECT_NEAR(bounded.objective, plain.objective,
+                1e-6 * (1.0 + std::abs(plain.objective)));
+    EXPECT_LE(m.max_violation(bounded.x), 1e-6)
+        << "bounded backend returned an infeasible point";
+    ExactSolution exact = solve_exact(m);
+    ASSERT_EQ(exact.status, Status::kOptimal);
+    EXPECT_NEAR(bounded.objective, exact.objective.to_double(),
+                1e-6 * (1.0 + std::abs(plain.objective)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedAgreement, ::testing::Range(0, 200));
+
+}  // namespace
+}  // namespace nat::lp

@@ -1,0 +1,64 @@
+#include "baselines/exact_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+
+namespace nat::at::baselines {
+namespace {
+
+TEST(LpBnb, EmptyAndKnownFamilies) {
+  EXPECT_EQ(exact_opt_lp_bnb(Instance{2, {}})->optimum, 0);
+  for (std::int64_t g : {2, 4}) {
+    EXPECT_EQ(exact_opt_lp_bnb(gen::unit_overload(g))->optimum, 2);
+  }
+  for (std::int64_t g : {3, 5}) {
+    EXPECT_EQ(exact_opt_lp_bnb(gen::lemma51_gap(g))->optimum,
+              g + (g + 1) / 2)
+        << "g=" << g;
+  }
+}
+
+TEST(LpBnb, SchedulesAreValid) {
+  for (int id = 0; id < 10; ++id) {
+    const Instance inst = testing::contended(id);
+    auto r = exact_opt_lp_bnb(inst);
+    ASSERT_TRUE(r.has_value());
+    validate_schedule(inst, r->schedule);
+    EXPECT_EQ(r->schedule.active_slots(), r->optimum);
+  }
+}
+
+// The two exact solvers must agree everywhere (different search
+// strategies, same NP-hard problem).
+class LpBnbAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpBnbAgreement, MatchesCountDfs) {
+  const Instance inst = testing::mixed(GetParam());
+  auto dfs = exact_opt_laminar(inst);
+  auto bnb = exact_opt_lp_bnb(inst);
+  ASSERT_TRUE(dfs.has_value());
+  ASSERT_TRUE(bnb.has_value()) << "LP B&B budget exhausted";
+  EXPECT_EQ(bnb->optimum, dfs->optimum) << "instance " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LpBnbAgreement, ::testing::Range(0, 120));
+
+TEST(LpBnb, HandlesLargerInstancesThanCountDfsComfortably) {
+  // A mid-size contended instance; the LP bound collapses the search
+  // to a handful of LP solves.
+  gen::ContendedParams params;
+  params.g = 10;
+  params.min_groups = 8;
+  params.max_groups = 8;
+  util::Rng rng(11);
+  const Instance inst = gen::random_contended(params, rng);
+  auto r = exact_opt_lp_bnb(inst);
+  ASSERT_TRUE(r.has_value());
+  validate_schedule(inst, r->schedule);
+  EXPECT_LT(r->lp_solves, 2000);
+}
+
+}  // namespace
+}  // namespace nat::at::baselines

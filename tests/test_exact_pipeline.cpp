@@ -1,0 +1,65 @@
+#include "activetime/exact_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(ExactPipeline, EmptyAndSingleJob) {
+  EXPECT_EQ(solve_nested_exact(Instance{1, {}}).active_slots, 0);
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 7, 4}};
+  ExactPipelineResult r = solve_nested_exact(inst);
+  EXPECT_EQ(r.active_slots, 4);
+  EXPECT_EQ(r.lp_value, num::Rational(4));
+}
+
+TEST(ExactPipeline, UnitOverloadLpValueIsExactlyTwo) {
+  const Instance inst = gen::unit_overload(7);
+  ExactPipelineResult r = solve_nested_exact(inst);
+  EXPECT_EQ(r.lp_value, num::Rational(2));
+  EXPECT_EQ(r.active_slots, 2);
+}
+
+TEST(ExactPipeline, Lemma51LpValueIsExactlyGPlusOne) {
+  // The strengthened tree LP's optimum on the Lemma 5.1 family is
+  // exactly g + 1 (the long job spreads 1/g per group) — the kind of
+  // statement only exact arithmetic can assert with EQ.
+  for (std::int64_t g : {3, 4, 5}) {
+    const Instance inst = gen::lemma51_gap(g);
+    ExactPipelineResult r = solve_nested_exact(inst);
+    EXPECT_EQ(r.lp_value, num::Rational(g + 1)) << "g=" << g;
+    EXPECT_LE(static_cast<double>(r.active_slots),
+              1.8 * static_cast<double>(g + 1) + 1e-12);
+  }
+}
+
+// Cross-check against the double pipeline and the exact optimum. The
+// two pipelines may pick different LP vertices, so slot counts can
+// differ; the LP value, validity and the 9/5 certificate must agree.
+class ExactPipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactPipelineSweep, AgreesWithDoublePipeline) {
+  const Instance inst = testing::mixed(GetParam());
+  if (inst.num_jobs() > 30) GTEST_SKIP() << "rational simplex too slow";
+  ExactPipelineResult exact = solve_nested_exact(inst);
+  validate_schedule(inst, exact.schedule);
+  NestedSolveResult dbl = solve_nested(inst);
+  EXPECT_NEAR(exact.lp_value.to_double(), dbl.lp_value, 1e-6)
+      << "LP optima must agree across arithmetic";
+  auto opt = baselines::exact_opt_laminar(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_GE(exact.active_slots, opt->optimum);
+  EXPECT_LE(static_cast<double>(exact.active_slots),
+            1.8 * static_cast<double>(opt->optimum) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactPipelineSweep, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace nat::at

@@ -1,0 +1,85 @@
+#include "baselines/exact_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace nat::at::baselines {
+namespace {
+
+TEST(ExactUnit, RejectsNonUnitJobs) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 4, 2}};
+  EXPECT_THROW(exact_opt_unit_laminar(inst), util::CheckError);
+}
+
+TEST(ExactUnit, EmptyInstance) {
+  EXPECT_EQ(exact_opt_unit_laminar(Instance{3, {}}).optimum, 0);
+}
+
+TEST(ExactUnit, KnownCases) {
+  // g+1 unit jobs in [0,2): ceil((g+1)/g) = 2.
+  for (std::int64_t g : {1, 2, 5}) {
+    const Instance inst = gen::unit_overload(g);
+    const ExactUnitResult r = exact_opt_unit_laminar(inst);
+    EXPECT_EQ(r.optimum, 2) << "g=" << g;
+    validate_schedule(inst, r.schedule);
+  }
+  // Nested chain sharing one slot.
+  Instance chain;
+  chain.g = 3;
+  chain.jobs = {Job{0, 9, 1}, Job{2, 6, 1}, Job{3, 5, 1}};
+  EXPECT_EQ(exact_opt_unit_laminar(chain).optimum, 1);
+  // Disjoint children force one slot each.
+  Instance split;
+  split.g = 5;
+  split.jobs = {Job{0, 10, 1}, Job{1, 3, 1}, Job{5, 7, 1}};
+  EXPECT_EQ(exact_opt_unit_laminar(split).optimum, 2);
+}
+
+TEST(ExactUnit, DetectsInfeasibleUnitInstance) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 1, 1}, Job{0, 1, 1}};  // 2 jobs, 1 slot, g=1
+  EXPECT_THROW(exact_opt_unit_laminar(inst), util::CheckError);
+}
+
+// The headline property: the polynomial greedy equals the exponential
+// branch-and-bound on random unit instances (E8's "exactly solvable"
+// claim), and the 9/5 solver stays within bound against it.
+class ExactUnitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactUnitSweep, MatchesBranchAndBound) {
+  gen::RandomLaminarParams params;
+  util::Rng knobs(600 + GetParam());
+  params.g = knobs.uniform_int(1, 5);
+  params.max_depth = static_cast<int>(knobs.uniform_int(1, 3));
+  params.max_children = static_cast<int>(knobs.uniform_int(1, 3));
+  params.max_jobs_per_node = static_cast<int>(knobs.uniform_int(1, 4));
+  util::Rng rng(1234 + GetParam());
+  const Instance inst = gen::random_laminar_unit(params, rng);
+
+  const ExactUnitResult unit = exact_opt_unit_laminar(inst);
+  validate_schedule(inst, unit.schedule);
+  // The B&B is exponential; keep its budget finite and skip the
+  // comparison (but not the validity checks above) when it blows up.
+  auto bb = exact_opt_laminar(inst, ExactOptions{2'000'000});
+  if (bb.has_value()) {
+    EXPECT_EQ(unit.optimum, bb->optimum)
+        << "polynomial unit solver disagrees with B&B on instance "
+        << GetParam();
+  }
+
+  NestedSolveResult nested = solve_nested(inst);
+  EXPECT_LE(static_cast<double>(nested.active_slots),
+            1.8 * static_cast<double>(unit.optimum) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactUnitSweep, ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace nat::at::baselines

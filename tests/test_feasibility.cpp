@@ -1,0 +1,123 @@
+#include "activetime/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace nat::at {
+namespace {
+
+using util::Rng;
+
+TEST(SlotFeasibility, AllSlotsOpenIsFeasibleForGenerated) {
+  for (int id = 0; id < 10; ++id) {
+    const Instance inst = testing::random_small(id);
+    std::vector<Time> all;
+    for (const Job& job : inst.jobs) {
+      for (Time t = job.release; t < job.deadline; ++t) all.push_back(t);
+    }
+    EXPECT_TRUE(feasible_with_slots(inst, all));
+  }
+}
+
+TEST(SlotFeasibility, TooFewSlotsInfeasible) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 4, 3}};
+  EXPECT_TRUE(feasible_with_slots(inst, {0, 1, 2}));
+  EXPECT_FALSE(feasible_with_slots(inst, {0, 1}));
+  EXPECT_FALSE(feasible_with_slots(inst, {}));
+}
+
+TEST(SlotFeasibility, CapacityBinds) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 2, 1}, Job{0, 2, 1}, Job{0, 2, 1}};
+  EXPECT_FALSE(feasible_with_slots(inst, {0}));   // 3 units > g=2
+  EXPECT_TRUE(feasible_with_slots(inst, {0, 1}));
+}
+
+TEST(SlotFeasibility, ExtractedScheduleIsValid) {
+  const Instance inst = testing::small_nested();
+  std::vector<Time> all;
+  for (Time t = 0; t < 10; ++t) all.push_back(t);
+  auto sched = schedule_with_slots(inst, all);
+  ASSERT_TRUE(sched.has_value());
+  validate_schedule(inst, *sched);
+}
+
+TEST(SlotFeasibility, DuplicateSlotsAreDeduplicated) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 3, 2}};
+  EXPECT_FALSE(feasible_with_slots(inst, {1, 1, 1}));  // really one slot
+  EXPECT_TRUE(feasible_with_slots(inst, {1, 2, 2}));
+}
+
+TEST(RegionFeasibility, MatchesSlotLevelOnMaterializedSlots) {
+  Rng rng(42);
+  for (int id = 0; id < 40; ++id) {
+    const Instance inst = testing::random_small(id);
+    LaminarForest f = LaminarForest::build(inst);
+    f.canonicalize();
+    // Random per-region counts.
+    std::vector<Time> open(f.num_nodes());
+    for (int i = 0; i < f.num_nodes(); ++i) {
+      open[i] = rng.uniform_int(0, f.node(i).length());
+    }
+    const bool region = feasible_with_counts(f, open);
+    // Slot-level test on the materialized slots, with the forest's
+    // (canonical) jobs.
+    Instance canon;
+    canon.g = f.g();
+    canon.jobs = f.jobs();
+    const bool slot =
+        feasible_with_slots(canon, materialize_slots(f, open));
+    EXPECT_EQ(region, slot) << "instance " << id;
+  }
+}
+
+TEST(RegionFeasibility, ExtractionValidAndUsesOnlyOpenSlots) {
+  Rng rng(17);
+  int feasible_cases = 0;
+  for (int id = 0; id < 60 && feasible_cases < 25; ++id) {
+    const Instance inst = testing::random_small(id);
+    LaminarForest f = LaminarForest::build(inst);
+    f.canonicalize();
+    std::vector<Time> open(f.num_nodes());
+    for (int i = 0; i < f.num_nodes(); ++i) {
+      // Bias toward open so a good share of cases are feasible.
+      open[i] = rng.chance(0.8) ? f.node(i).length()
+                                : rng.uniform_int(0, f.node(i).length());
+    }
+    auto sched = schedule_with_counts(f, open);
+    if (!sched.has_value()) continue;
+    ++feasible_cases;
+    Instance canon;
+    canon.g = f.g();
+    canon.jobs = f.jobs();
+    validate_schedule(canon, *sched);
+    validate_schedule(inst, *sched);  // canonical windows only shrink
+    // Every used slot must be one of the materialized open slots.
+    const std::vector<Time> slots = materialize_slots(f, open);
+    for (const auto& js : sched->assignment) {
+      for (Time t : js) {
+        EXPECT_TRUE(std::binary_search(slots.begin(), slots.end(), t));
+      }
+    }
+  }
+  EXPECT_GE(feasible_cases, 10);
+}
+
+TEST(RegionFeasibility, CountBoundsChecked) {
+  LaminarForest f = LaminarForest::build(testing::small_nested());
+  std::vector<Time> open(f.num_nodes(), 0);
+  open[0] = f.node(0).length() + 1;
+  EXPECT_THROW(feasible_with_counts(f, open), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nat::at

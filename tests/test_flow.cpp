@@ -1,0 +1,126 @@
+#include "flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nat::flow {
+namespace {
+
+using util::Rng;
+
+TEST(Dinic, SingleEdge) {
+  MaxFlowGraph g(2);
+  int e = g.add_edge(0, 1, 7);
+  EXPECT_EQ(g.max_flow(0, 1), 7);
+  EXPECT_EQ(g.flow_on(e), 7);
+  EXPECT_EQ(g.capacity_on(e), 7);
+}
+
+TEST(Dinic, NoPathMeansZero) {
+  MaxFlowGraph g(3);
+  g.add_edge(0, 1, 5);
+  EXPECT_EQ(g.max_flow(0, 2), 0);
+}
+
+TEST(Dinic, ClassicDiamond) {
+  // Diamond 0 -> {1, 2} -> 3 with a cross edge 1 -> 2.
+  MaxFlowGraph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(0, 2, 10);
+  g.add_edge(1, 3, 10);
+  g.add_edge(2, 3, 10);
+  g.add_edge(1, 2, 1);
+  EXPECT_EQ(g.max_flow(0, 3), 20);
+}
+
+TEST(Dinic, ResetRestoresCapacities) {
+  MaxFlowGraph g(2);
+  int e = g.add_edge(0, 1, 4);
+  EXPECT_EQ(g.max_flow(0, 1), 4);
+  g.reset();
+  EXPECT_EQ(g.flow_on(e), 0);
+  EXPECT_EQ(g.max_flow(0, 1), 4);
+}
+
+TEST(Dinic, RejectsBadArguments) {
+  MaxFlowGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1), util::CheckError);
+  EXPECT_THROW(g.add_edge(0, 1, -1), util::CheckError);
+  EXPECT_THROW(g.max_flow(0, 0), util::CheckError);
+}
+
+TEST(Dinic, MinCutSeparatesAndMatchesFlowValue) {
+  MaxFlowGraph g(4);
+  g.add_edge(0, 1, 3);
+  g.add_edge(0, 2, 2);
+  g.add_edge(1, 3, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(1, 2, 5);
+  // 2 via 0→1→3, 2 via 0→2→3, 1 via 0→1→2→3.
+  const std::int64_t f = g.max_flow(0, 3);
+  EXPECT_EQ(f, 5);
+  auto side = g.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+}
+
+// Property sweep: Dinic equals the Edmonds–Karp reference on random
+// graphs, and the min cut certifies optimality (max-flow = min-cut).
+class RandomFlowGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowGraphs, MatchesReferenceAndCutCertificate) {
+  Rng rng(500 + GetParam());
+  const int n = static_cast<int>(rng.uniform_int(2, 9));
+  const int edges = static_cast<int>(rng.uniform_int(1, 24));
+  std::vector<std::tuple<int, int, std::int64_t>> edge_list;
+  MaxFlowGraph g(n);
+  std::vector<int> ids;
+  for (int e = 0; e < edges; ++e) {
+    int u = static_cast<int>(rng.uniform_int(0, n - 1));
+    int v = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (u == v) continue;
+    std::int64_t c = rng.uniform_int(0, 12);
+    edge_list.emplace_back(u, v, c);
+    ids.push_back(g.add_edge(u, v, c));
+  }
+  const int s = 0;
+  const int t = n - 1;
+  const std::int64_t f = g.max_flow(s, t);
+  EXPECT_EQ(f, edmonds_karp_reference(n, edge_list, s, t));
+
+  // Certificate: capacity of the residual-reachability cut equals f.
+  auto side = g.min_cut_source_side(s);
+  EXPECT_TRUE(side[s]);
+  EXPECT_FALSE(side[t]);
+  std::int64_t cut = 0;
+  for (std::size_t k = 0; k < edge_list.size(); ++k) {
+    auto [u, v, c] = edge_list[k];
+    if (side[u] && !side[v]) cut += c;
+  }
+  EXPECT_EQ(cut, f);
+
+  // Flow conservation at interior nodes.
+  std::vector<std::int64_t> balance(n, 0);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    auto [u, v, c] = edge_list[k];
+    const std::int64_t fl = g.flow_on(ids[k]);
+    EXPECT_GE(fl, 0);
+    EXPECT_LE(fl, c);
+    balance[u] -= fl;
+    balance[v] += fl;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (v == s || v == t) continue;
+    EXPECT_EQ(balance[v], 0) << "conservation at node " << v;
+  }
+  EXPECT_EQ(balance[t], f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomFlowGraphs, ::testing::Range(0, 150));
+
+}  // namespace
+}  // namespace nat::flow

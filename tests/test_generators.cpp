@@ -1,0 +1,118 @@
+#include "instances/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "activetime/feasibility.hpp"
+#include "baselines/exact.hpp"
+
+namespace nat::at::gen {
+namespace {
+
+TEST(Generators, UnitOverloadShape) {
+  const Instance inst = unit_overload(4);
+  EXPECT_EQ(inst.g, 4);
+  EXPECT_EQ(inst.num_jobs(), 5);
+  for (const Job& job : inst.jobs) {
+    EXPECT_EQ(job.window(), (Interval{0, 2}));
+    EXPECT_EQ(job.processing, 1);
+  }
+  EXPECT_TRUE(inst.is_laminar());
+}
+
+TEST(Generators, Lemma51Shape) {
+  const std::int64_t g = 3;
+  const Instance inst = lemma51_gap(g);
+  EXPECT_EQ(inst.num_jobs(), static_cast<int>(g * g + 1));
+  EXPECT_EQ(inst.horizon(), (Interval{0, 2 * g}));
+  EXPECT_EQ(inst.jobs[0].processing, g);  // the long job
+  EXPECT_TRUE(inst.is_laminar());
+  EXPECT_EQ(inst.total_volume(), g * g + g);
+}
+
+TEST(Generators, LongPlusGroupsGuardrails) {
+  EXPECT_THROW(long_plus_groups(2, 1, 1, 5), util::CheckError);  // p > horizon
+  const Instance ok = long_plus_groups(2, 3, 1, 4);
+  EXPECT_TRUE(ok.is_laminar());
+}
+
+TEST(Generators, RandomLaminarIsDeterministicPerSeed) {
+  RandomLaminarParams params;
+  util::Rng a(42), b(42), c(43);
+  const Instance ia = random_laminar(params, a);
+  const Instance ib = random_laminar(params, b);
+  const Instance ic = random_laminar(params, c);
+  EXPECT_EQ(ia.jobs, ib.jobs);
+  EXPECT_NE(ia.jobs, ic.jobs);
+}
+
+TEST(Generators, RandomLaminarAlwaysFeasibleAndLaminar) {
+  // The generator NAT_CHECKs feasibility internally; run a spread of
+  // parameterizations to exercise the volume-budget logic.
+  for (int seed = 0; seed < 40; ++seed) {
+    RandomLaminarParams params;
+    util::Rng knobs(seed);
+    params.g = knobs.uniform_int(1, 6);
+    params.max_depth = static_cast<int>(knobs.uniform_int(1, 4));
+    params.max_children = static_cast<int>(knobs.uniform_int(1, 4));
+    params.max_jobs_per_node = static_cast<int>(knobs.uniform_int(1, 4));
+    params.max_processing = knobs.uniform_int(1, 5);
+    params.fill = 0.5 + 0.4 * knobs.uniform01();
+    util::Rng rng(1000 + seed);
+    const Instance inst = random_laminar(params, rng);
+    EXPECT_TRUE(inst.is_laminar());
+    EXPECT_GE(inst.num_jobs(), 1);
+  }
+}
+
+TEST(Generators, RandomLaminarUnitHasOnlyUnitJobs) {
+  RandomLaminarParams params;
+  params.max_processing = 9;  // overridden by the unit variant
+  util::Rng rng(7);
+  const Instance inst = random_laminar_unit(params, rng);
+  for (const Job& job : inst.jobs) EXPECT_EQ(job.processing, 1);
+}
+
+TEST(Generators, StaircaseIsAMaximalChain) {
+  const Instance inst = staircase(3, 5, 2);
+  EXPECT_TRUE(inst.is_laminar());
+  EXPECT_EQ(inst.num_jobs(), 10);
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.num_nodes(), 5);
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    EXPECT_LE(f.node(i).children.size(), 1u) << "chain expected";
+  }
+}
+
+TEST(Generators, BinaryNestShape) {
+  const Instance inst = binary_nest(3, 3);
+  EXPECT_TRUE(inst.is_laminar());
+  LaminarForest f = LaminarForest::build(inst);
+  // Depth-3 recursion: every internal original node has two children.
+  int with_two = 0;
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    if (f.node(i).children.size() == 2) ++with_two;
+  }
+  EXPECT_GE(with_two, 3);
+  EXPECT_GE(f.depth(f.postorder().front()), 2);
+}
+
+TEST(Generators, StaircaseGuardsInfeasibleParameters) {
+  // levels*per_level units inside the innermost window of length
+  // 2*levels - ... — the guard catches gross overloads.
+  EXPECT_THROW(staircase(1, 4, 20), util::CheckError);
+}
+
+TEST(Generators, ContendedFamilyIsTight) {
+  // Contended instances should sit near capacity: LP distinctly above
+  // the group count, OPT below 2x the group count + longs.
+  ContendedParams params;
+  params.g = 4;
+  util::Rng rng(5);
+  const Instance inst = random_contended(params, rng);
+  EXPECT_TRUE(inst.is_laminar());
+  // Volume within global capacity (feasibility was flow-checked).
+  EXPECT_LE(inst.total_volume(), inst.g * inst.horizon().length());
+}
+
+}  // namespace
+}  // namespace nat::at::gen

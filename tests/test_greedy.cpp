@@ -1,0 +1,71 @@
+#include "baselines/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+
+namespace nat::at::baselines {
+namespace {
+
+TEST(Greedy, ProducesMinimalFeasibleSolutions) {
+  for (int id = 0; id < 15; ++id) {
+    const Instance inst = testing::random_small(id);
+    for (auto order : {DeactivationOrder::kLeftToRight,
+                       DeactivationOrder::kRightToLeft,
+                       DeactivationOrder::kRandom,
+                       DeactivationOrder::kSparsestFirst,
+                       DeactivationOrder::kDensestFirst}) {
+      GreedyResult r = greedy_minimal_feasible(inst, order, 7);
+      EXPECT_TRUE(is_minimal_feasible(inst, r.open_slots))
+          << "instance " << id << ", order " << to_string(order);
+      validate_schedule(inst, r.schedule);
+      // Every slot of a minimal feasible set is used by every schedule.
+      EXPECT_EQ(r.active_slots,
+                static_cast<std::int64_t>(r.open_slots.size()));
+    }
+  }
+}
+
+TEST(Greedy, RandomOrderIsSeedDeterministic) {
+  const Instance inst = testing::random_small(3);
+  GreedyResult a =
+      greedy_minimal_feasible(inst, DeactivationOrder::kRandom, 11);
+  GreedyResult b =
+      greedy_minimal_feasible(inst, DeactivationOrder::kRandom, 11);
+  EXPECT_EQ(a.open_slots, b.open_slots);
+}
+
+TEST(Greedy, ExactOnSingleJob) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 9, 4}};
+  GreedyResult r = greedy_minimal_feasible(inst);
+  EXPECT_EQ(r.active_slots, 4);
+}
+
+// The 3-approximation guarantee of [CKM] holds for every minimal
+// feasible solution; verify against the exact optimum.
+class GreedyRatio : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyRatio, AtMostThreeTimesOptimal) {
+  const Instance inst = testing::random_small(GetParam());
+  auto opt = exact_opt_laminar(inst);
+  ASSERT_TRUE(opt.has_value());
+  for (auto order : {DeactivationOrder::kLeftToRight,
+                     DeactivationOrder::kRightToLeft,
+                     DeactivationOrder::kRandom,
+                     DeactivationOrder::kSparsestFirst,
+                     DeactivationOrder::kDensestFirst}) {
+    GreedyResult r =
+        greedy_minimal_feasible(inst, order, 1234 + GetParam());
+    EXPECT_LE(r.active_slots, 3 * opt->optimum)
+        << to_string(order) << " on instance " << GetParam();
+    EXPECT_GE(r.active_slots, opt->optimum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedyRatio, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace nat::at::baselines

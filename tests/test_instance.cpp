@@ -1,0 +1,72 @@
+#include "activetime/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(Instance, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(testing::small_nested().validate());
+}
+
+TEST(Instance, ValidateRejectsBadG) {
+  Instance i = testing::small_nested();
+  i.g = 0;
+  EXPECT_THROW(i.validate(), util::CheckError);
+}
+
+TEST(Instance, ValidateRejectsZeroProcessing) {
+  Instance i;
+  i.g = 1;
+  i.jobs = {Job{0, 3, 0}};
+  EXPECT_THROW(i.validate(), util::CheckError);
+}
+
+TEST(Instance, ValidateRejectsTightWindow) {
+  Instance i;
+  i.g = 1;
+  i.jobs = {Job{0, 2, 3}};  // window shorter than processing
+  EXPECT_THROW(i.validate(), util::CheckError);
+}
+
+TEST(Instance, HorizonAndVolume) {
+  Instance i = testing::small_nested();
+  EXPECT_EQ(i.horizon(), (Interval{0, 10}));
+  EXPECT_EQ(i.total_volume(), 9);
+  EXPECT_EQ(i.volume_lower_bound(), 5);  // ceil(9/2)
+  EXPECT_TRUE(Instance{}.horizon().empty());
+}
+
+TEST(Instance, LaminarDetection) {
+  EXPECT_TRUE(testing::small_nested().is_laminar());
+  EXPECT_FALSE(testing::crossing().is_laminar());
+  // Identical windows are laminar.
+  Instance same;
+  same.g = 1;
+  same.jobs = {Job{0, 3, 1}, Job{0, 3, 2}};
+  EXPECT_TRUE(same.is_laminar());
+  // Touching (disjoint) windows are laminar.
+  Instance touching;
+  touching.g = 1;
+  touching.jobs = {Job{0, 3, 1}, Job{3, 6, 2}};
+  EXPECT_TRUE(touching.is_laminar());
+}
+
+TEST(Interval, Relations) {
+  const Interval a{0, 4}, b{1, 3}, c{4, 6};
+  EXPECT_TRUE(b.inside(a));
+  EXPECT_TRUE(b.strictly_inside(a));
+  EXPECT_FALSE(a.strictly_inside(a));
+  EXPECT_TRUE(a.inside(a));
+  EXPECT_TRUE(a.disjoint(c));
+  EXPECT_FALSE(a.disjoint(b));
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_FALSE(a.contains(4));
+  EXPECT_EQ(a.length(), 4);
+}
+
+}  // namespace
+}  // namespace nat::at

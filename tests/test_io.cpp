@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "io/serialize.hpp"
+#include "io/table.hpp"
+#include "util/check.hpp"
+
+namespace nat::io {
+namespace {
+
+TEST(Serialize, RoundTripsInstances) {
+  for (int id = 0; id < 20; ++id) {
+    const at::Instance inst = at::testing::mixed(id);
+    const at::Instance back = instance_from_string(to_string(inst));
+    EXPECT_EQ(back.g, inst.g);
+    EXPECT_EQ(back.jobs, inst.jobs);
+  }
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW(instance_from_string("bogus v9\n"), util::CheckError);
+  EXPECT_THROW(instance_from_string("activetime v1\ng 1\njobs 2\n0 2 1\n"),
+               util::CheckError);  // truncated
+}
+
+TEST(Serialize, WriteScheduleIsHumanReadable) {
+  at::Instance inst;
+  inst.g = 2;
+  inst.jobs = {at::Job{0, 3, 2}, at::Job{0, 3, 1}};
+  at::Schedule sched;
+  sched.assignment = {{0, 1}, {1}};
+  std::ostringstream os;
+  write_schedule(os, inst, sched);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("active slots: 2"), std::string::npos);
+  EXPECT_NE(out.find("t=1: j0 j1"), std::string::npos);
+}
+
+TEST(Serialize, GanttChart) {
+  at::Instance inst;
+  inst.g = 2;
+  inst.jobs = {at::Job{0, 4, 2}, at::Job{1, 3, 1}};
+  at::Schedule sched;
+  sched.assignment = {{0, 1}, {1}};
+  std::ostringstream os;
+  write_gantt(os, inst, sched);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("j0  |##..|"), std::string::npos) << out;
+  EXPECT_NE(out.find("j1  | #. |"), std::string::npos) << out;
+  EXPECT_NE(out.find("on  |^^  |"), std::string::npos) << out;
+}
+
+TEST(Serialize, GanttRefusesWideHorizons) {
+  at::Instance inst;
+  inst.g = 1;
+  inst.jobs = {at::Job{0, 500, 1}};
+  at::Schedule sched;
+  sched.assignment = {{0}};
+  std::ostringstream os;
+  EXPECT_THROW(write_gantt(os, inst, sched, 120), util::CheckError);
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t({"g", "value"});
+  t.add_row({"2", Table::num(1.5)});
+  t.add_row({"10", Table::num(static_cast<std::int64_t>(42))});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| g  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| 10 | 42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(Table, CsvLayout) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), util::CheckError);
+}
+
+TEST(Table, RatioHelper) {
+  EXPECT_EQ(Table::ratio(3.0, 2.0), "1.500");
+  EXPECT_EQ(Table::ratio(1.0, 0.0), "-");
+}
+
+}  // namespace
+}  // namespace nat::io

@@ -1,0 +1,114 @@
+#include "activetime/lp_relaxation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+#include "lp/exact_simplex.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(JobClasses, AggregationGroupsByNodeAndLength) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 4, 1}, Job{0, 4, 1}, Job{0, 4, 2}, Job{1, 3, 1}};
+  LaminarForest f = LaminarForest::build(inst);
+  auto agg = build_job_classes(f, /*aggregate=*/true);
+  EXPECT_EQ(agg.size(), 3u);  // (root,1)x2, (root,2), (child,1)
+  int total = 0;
+  for (const auto& c : agg) total += c.count();
+  EXPECT_EQ(total, 4);
+  auto flat = build_job_classes(f, /*aggregate=*/false);
+  EXPECT_EQ(flat.size(), 4u);
+}
+
+TEST(StrongLp, SingleRigidJob) {
+  // One job of length 3, window [0,3): LP must open 3 slots.
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 3, 3}};
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  StrongLp lp = build_strong_lp(f);
+  lp::Solution s = lp::solve(lp.model);
+  ASSERT_EQ(s.status, lp::Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(StrongLp, CeilingConstraintClosesUnitOverloadGap) {
+  // g+1 unit jobs in [0,2): without (7) the LP value is (g+1)/g; the
+  // ceiling constraint lifts it to the integral optimum 2.
+  const std::int64_t g = 5;
+  const Instance inst = gen::unit_overload(g);
+  StrongLpOptions with, without;
+  without.ceiling_constraints = false;
+  EXPECT_NEAR(strong_lp_value(inst, without),
+              static_cast<double>(g + 1) / static_cast<double>(g), 1e-7);
+  EXPECT_NEAR(strong_lp_value(inst, with), 2.0, 1e-7);
+}
+
+TEST(StrongLp, EmitsExpectedCeilingRows) {
+  const Instance inst = gen::unit_overload(3);
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  StrongLp lp = build_strong_lp(f);
+  // 4 unit jobs > g=3 in one window: OPT >= 2 at the root; no node
+  // needs three slots.
+  EXPECT_FALSE(lp.nodes_opt_ge_2.empty());
+  EXPECT_TRUE(lp.nodes_opt_ge_3.empty());
+}
+
+TEST(StrongLp, ValueCertifiedByExactSimplexOnGapFamily) {
+  // Certify the double backend's strengthened-LP value exactly.
+  const Instance inst = gen::unit_overload(4);
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  StrongLpOptions opt;
+  opt.ceiling_constraints = false;
+  StrongLp lp = build_strong_lp(f, opt);
+  lp::ExactSolution exact = lp::solve_exact(lp.model);
+  ASSERT_EQ(exact.status, lp::Status::kOptimal);
+  EXPECT_EQ(exact.objective, num::Rational::from_int64(5, 4));
+}
+
+// Property sweeps over random instances.
+class StrongLpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrongLpSweep, AggregatedEqualsNonAggregated) {
+  const Instance inst = testing::random_small(GetParam());
+  StrongLpOptions agg, flat;
+  flat.aggregate_classes = false;
+  EXPECT_NEAR(strong_lp_value(inst, agg), strong_lp_value(inst, flat), 1e-5)
+      << "class aggregation must preserve the LP optimum";
+}
+
+TEST_P(StrongLpSweep, LpLowerBoundsOptAndVolume) {
+  const Instance inst = testing::random_small(GetParam());
+  const double lp = strong_lp_value(inst);
+  auto opt = baselines::exact_opt_laminar(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(lp, static_cast<double>(opt->optimum) + 1e-6)
+      << "LP must lower-bound OPT";
+  EXPECT_GE(lp, static_cast<double>(inst.total_volume()) /
+                    static_cast<double>(inst.g) -
+                1e-6)
+      << "LP dominates the volume bound";
+}
+
+TEST_P(StrongLpSweep, UnpackedSolutionIsLpFeasible) {
+  const Instance inst = testing::random_small(GetParam());
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  StrongLp lp = build_strong_lp(f);
+  lp::Solution s = lp::solve(lp.model);
+  ASSERT_EQ(s.status, lp::Status::kOptimal);
+  FractionalSolution frac = unpack(lp, s);
+  EXPECT_LE(lp_violation(f, lp, frac), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrongLpSweep, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace nat::at

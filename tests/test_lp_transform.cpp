@@ -1,0 +1,87 @@
+#include "activetime/lp_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "helpers.hpp"
+#include "lp/dense_simplex.hpp"
+
+namespace nat::at {
+namespace {
+
+struct Pipeline {
+  LaminarForest forest;
+  StrongLp lp;
+  FractionalSolution before;
+  FractionalSolution after;
+};
+
+Pipeline run_pipeline(const Instance& inst) {
+  Pipeline p{LaminarForest::build(inst), {}, {}, {}};
+  p.forest.canonicalize();
+  p.lp = build_strong_lp(p.forest);
+  lp::Solution s = lp::solve(p.lp.model);
+  EXPECT_EQ(s.status, lp::Status::kOptimal);
+  p.before = unpack(p.lp, s);
+  p.after = p.before;
+  push_down_transform(p.forest, p.lp, p.after);
+  return p;
+}
+
+double total(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+TEST(PushDownTransform, SmallNestedEndsAtFixedPoint) {
+  Pipeline p = run_pipeline(testing::small_nested());
+  // Lemma 3.1 property: a positive node has all strict descendants full.
+  for (int i = 0; i < p.forest.num_nodes(); ++i) {
+    if (p.after.x[i] <= kFracEps) continue;
+    for (int d : p.forest.subtree(i)) {
+      if (d == i) continue;
+      EXPECT_NEAR(p.after.x[d],
+                  static_cast<double>(p.forest.node(d).length()), 1e-5)
+          << "node " << i << " positive but descendant " << d << " not full";
+    }
+  }
+}
+
+// Property sweep over random instances: the transform preserves the
+// objective and LP feasibility, reaches the Lemma 3.1 fixed point, and
+// the resulting topmost set satisfies Claim 1.
+class TransformSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformSweep, PreservesObjectiveAndFeasibility) {
+  Pipeline p = run_pipeline(testing::mixed(GetParam()));
+  EXPECT_NEAR(total(p.before.x), total(p.after.x), 1e-5)
+      << "transform must not change the number of open slots";
+  EXPECT_LE(lp_violation(p.forest, p.lp, p.after), 1e-4)
+      << "transform must keep the solution LP-feasible";
+}
+
+TEST_P(TransformSweep, Lemma31FixedPoint) {
+  Pipeline p = run_pipeline(testing::mixed(GetParam()));
+  for (int i = 0; i < p.forest.num_nodes(); ++i) {
+    if (p.after.x[i] <= kFracEps) continue;
+    for (int d : p.forest.subtree(i)) {
+      if (d == i) continue;
+      EXPECT_GE(p.after.x[d],
+                static_cast<double>(p.forest.node(d).length()) - 1e-4);
+    }
+  }
+}
+
+TEST_P(TransformSweep, Claim1Holds) {
+  Pipeline p = run_pipeline(testing::mixed(GetParam()));
+  const std::vector<int> topmost = topmost_positive(p.forest, p.after.x);
+  EXPECT_FALSE(topmost.empty());
+  const std::string violation =
+      check_claim1(p.forest, p.after.x, topmost, 1e-4);
+  EXPECT_TRUE(violation.empty()) << violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransformSweep, ::testing::Range(0, 160));
+
+}  // namespace
+}  // namespace nat::at

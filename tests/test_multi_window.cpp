@@ -1,0 +1,193 @@
+#include "activetime/multi_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_unit.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nat::at {
+namespace {
+
+using util::Rng;
+
+TEST(MultiWindow, ValidationRejectsMalformed) {
+  MultiWindowInstance inst;
+  inst.g = 0;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+  inst.g = 1;
+  inst.jobs.push_back(MultiWindowJob{{}});
+  EXPECT_THROW(inst.validate(), util::CheckError);
+  inst.jobs[0].windows = {Interval{3, 3}};
+  EXPECT_THROW(inst.validate(), util::CheckError);
+}
+
+TEST(MultiWindow, AllowsChecksEveryWindow) {
+  const MultiWindowJob job{{Interval{0, 2}, Interval{5, 6}}};
+  EXPECT_TRUE(job.allows(0));
+  EXPECT_TRUE(job.allows(1));
+  EXPECT_FALSE(job.allows(2));
+  EXPECT_TRUE(job.allows(5));
+  EXPECT_FALSE(job.allows(6));
+}
+
+TEST(MultiWindow, CoverageIsMaxMatchingSize) {
+  // Two jobs sharing one g=1 slot: only one can be covered.
+  MultiWindowInstance inst;
+  inst.g = 1;
+  inst.jobs = {MultiWindowJob{{Interval{0, 1}}},
+               MultiWindowJob{{Interval{0, 1}}}};
+  EXPECT_EQ(max_coverage(inst, {0}), 1);
+  inst.g = 2;
+  EXPECT_EQ(max_coverage(inst, {0}), 2);
+  EXPECT_EQ(max_coverage(inst, {}), 0);
+}
+
+TEST(MultiWindow, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(MultiWindow, GreedySolvesDisjointWindows) {
+  // Jobs in disjoint windows: one slot each.
+  MultiWindowInstance inst;
+  inst.g = 3;
+  inst.jobs = {MultiWindowJob{{Interval{0, 2}}},
+               MultiWindowJob{{Interval{4, 6}}}};
+  const HgResult r = solve_multi_window_hg(inst);
+  EXPECT_EQ(r.active_slots, 2);
+  EXPECT_TRUE(inst.jobs[0].allows(r.assignment[0]));
+  EXPECT_TRUE(inst.jobs[1].allows(r.assignment[1]));
+}
+
+TEST(MultiWindow, SecondWindowCanMergeSlots) {
+  // Two jobs with disjoint primary windows but one shared secondary
+  // slot: the greedy should find the single shared slot.
+  MultiWindowInstance inst;
+  inst.g = 2;
+  inst.jobs = {MultiWindowJob{{Interval{0, 1}, Interval{10, 11}}},
+               MultiWindowJob{{Interval{5, 6}, Interval{10, 11}}}};
+  const HgResult r = solve_multi_window_hg(inst);
+  EXPECT_EQ(r.active_slots, 1);
+  EXPECT_EQ(r.assignment[0], 10);
+  EXPECT_EQ(r.assignment[1], 10);
+}
+
+TEST(MultiWindow, InfeasibleThrows) {
+  MultiWindowInstance inst;
+  inst.g = 1;
+  inst.jobs = {MultiWindowJob{{Interval{0, 1}}},
+               MultiWindowJob{{Interval{0, 1}}}};
+  EXPECT_THROW(solve_multi_window_hg(inst), util::CheckError);
+  EXPECT_THROW(exact_multi_window(inst), util::CheckError);
+}
+
+TEST(MultiWindow, CoverageIsMonotoneAndSubmodular) {
+  // Spot-check f(S+t) - f(S) >= f(T+t) - f(T) for S ⊆ T on random
+  // instances — the property Wolsey's guarantee rests on.
+  Rng rng(606);
+  for (int iter = 0; iter < 30; ++iter) {
+    MultiWindowInstance inst;
+    inst.g = rng.uniform_int(1, 3);
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int j = 0; j < n; ++j) {
+      MultiWindowJob job;
+      const int w = static_cast<int>(rng.uniform_int(1, 2));
+      for (int i = 0; i < w; ++i) {
+        const Time lo = rng.uniform_int(0, 8);
+        job.windows.push_back(Interval{lo, lo + rng.uniform_int(1, 3)});
+      }
+      inst.jobs.push_back(std::move(job));
+    }
+    std::vector<Time> small_set, big_set;
+    for (Time t = 0; t < 11; ++t) {
+      const bool in_big = rng.chance(0.5);
+      if (in_big) big_set.push_back(t);
+      if (in_big && rng.chance(0.5)) small_set.push_back(t);
+    }
+    const Time extra = rng.uniform_int(0, 10);
+    auto with = [&](std::vector<Time> v) {
+      v.push_back(extra);
+      return v;
+    };
+    const std::int64_t fs = max_coverage(inst, small_set);
+    const std::int64_t ft = max_coverage(inst, big_set);
+    EXPECT_LE(fs, ft) << "monotone";
+    EXPECT_GE(max_coverage(inst, with(small_set)) - fs,
+              max_coverage(inst, with(big_set)) - ft)
+        << "submodular";
+  }
+}
+
+// The Wolsey guarantee: greedy <= H_g * OPT on random instances.
+class MultiWindowSweep : public ::testing::TestWithParam<int> {};
+
+MultiWindowInstance random_instance(int id) {
+  Rng rng(2500 + id);
+  MultiWindowInstance inst;
+  inst.g = rng.uniform_int(1, 4);
+  const int n = static_cast<int>(rng.uniform_int(1, 6));
+  for (int j = 0; j < n; ++j) {
+    MultiWindowJob job;
+    const int w = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < w; ++i) {
+      const Time lo = rng.uniform_int(0, 10);
+      job.windows.push_back(Interval{lo, lo + rng.uniform_int(1, 3)});
+    }
+    inst.jobs.push_back(std::move(job));
+  }
+  return inst;
+}
+
+TEST_P(MultiWindowSweep, GreedyWithinHgOfOptimal) {
+  const MultiWindowInstance inst = random_instance(GetParam());
+  if (max_coverage(inst, inst.candidate_slots()) < inst.num_jobs()) {
+    GTEST_SKIP() << "randomly drawn instance is infeasible";
+  }
+  const auto opt = exact_multi_window(inst);
+  if (!opt.has_value()) GTEST_SKIP() << "too many candidate slots";
+  const HgResult r = solve_multi_window_hg(inst);
+  EXPECT_GE(r.active_slots, *opt);
+  EXPECT_LE(static_cast<double>(r.active_slots),
+            harmonic(inst.g) * static_cast<double>(*opt) + 1e-9)
+      << "Wolsey bound violated on instance " << GetParam();
+  // Assignment validity: every job at an allowed, opened slot; load.
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    EXPECT_TRUE(inst.jobs[j].allows(r.assignment[j]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiWindowSweep, ::testing::Range(0, 60));
+
+// Single-window unit jobs are a special case of both this module and
+// the exact unit solver — they must agree.
+class MultiWindowVsUnit : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiWindowVsUnit, ExactValuesAgreeOnSingleWindowInstances) {
+  Rng rng(3500 + GetParam());
+  Instance unit_inst;
+  unit_inst.g = rng.uniform_int(1, 3);
+  MultiWindowInstance multi;
+  multi.g = unit_inst.g;
+  const int n = static_cast<int>(rng.uniform_int(1, 5));
+  // Nested windows to keep the instance laminar for the unit solver.
+  Time lo = 0, hi = 12;
+  for (int j = 0; j < n; ++j) {
+    unit_inst.jobs.push_back(Job{lo, hi, 1});
+    multi.jobs.push_back(MultiWindowJob{{Interval{lo, hi}}});
+    if (hi - lo > 2 && rng.chance(0.7)) {
+      ++lo;
+      --hi;
+    }
+  }
+  const auto exact_multi = exact_multi_window(multi, 14);
+  if (!exact_multi.has_value()) GTEST_SKIP();
+  const auto exact_unit = baselines::exact_opt_unit_laminar(unit_inst);
+  EXPECT_EQ(*exact_multi, exact_unit.optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiWindowVsUnit, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace nat::at

@@ -1,0 +1,149 @@
+#include "lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/exact_simplex.hpp"
+#include "util/rng.hpp"
+
+namespace nat::lp {
+namespace {
+
+TEST(Presolve, SubstitutesFixedVariables) {
+  Model m;
+  int x = m.add_variable("x", 3.0, 3.0, 1.0);  // fixed at 3
+  int y = m.add_variable("y", 0.0, kInf, 1.0);
+  m.add_row(Sense::kGe, 5.0, {{x, 1.0}, {y, 1.0}});
+  Presolved pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.vars_removed, 1);
+  EXPECT_EQ(pre.reduced.num_variables(), 1);
+  // The row should have become y >= 2, which is itself a singleton and
+  // is absorbed into y's bounds — no rows left.
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_NEAR(pre.reduced.variable(0).lower, 2.0, 1e-12);
+  Solution s = solve_with_presolve(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-12);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-9);
+}
+
+TEST(Presolve, DropsConsistentEmptyRows) {
+  Model m;
+  int x = m.add_variable("x", 0.0, 1.0, 1.0);
+  m.add_row(Sense::kLe, 4.0, {});  // 0 <= 4: fine
+  m.add_row(Sense::kGe, -1.0, {});
+  m.add_row(Sense::kEq, 0.0, {});
+  (void)x;
+  Presolved pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.rows_removed, 3);
+}
+
+TEST(Presolve, DetectsInconsistentEmptyRow) {
+  Model m;
+  (void)m.add_variable("x", 0.0, 1.0, 1.0);
+  m.add_row(Sense::kGe, 2.0, {});  // 0 >= 2: impossible
+  EXPECT_TRUE(presolve(m).infeasible);
+  EXPECT_EQ(solve_with_presolve(m).status, Status::kInfeasible);
+}
+
+TEST(Presolve, SingletonRowsTightenBothSides) {
+  Model m;
+  int x = m.add_variable("x", 0.0, kInf, 1.0);
+  m.add_row(Sense::kGe, 2.0, {{x, 1.0}});    // x >= 2
+  m.add_row(Sense::kLe, 10.0, {{x, 2.0}});   // x <= 5
+  m.add_row(Sense::kGe, -8.0, {{x, -2.0}});  // x <= 4
+  Presolved pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_NEAR(pre.reduced.variable(0).lower, 2.0, 1e-12);
+  EXPECT_NEAR(pre.reduced.variable(0).upper, 4.0, 1e-12);
+}
+
+TEST(Presolve, CascadeOfFixings) {
+  // x == 2 (singleton eq) fixes x; substituting into the second row
+  // makes it a singleton for y, fixing y too; third row collapses.
+  Model m;
+  int x = m.add_variable("x", 0.0, kInf, 1.0);
+  int y = m.add_variable("y", 0.0, kInf, 1.0);
+  int z = m.add_variable("z", 0.0, kInf, 1.0);
+  m.add_row(Sense::kEq, 2.0, {{x, 1.0}});
+  m.add_row(Sense::kEq, 5.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Sense::kGe, 6.0, {{x, 1.0}, {y, 1.0}, {z, 1.0}});
+  Presolved pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.vars_removed, 2);
+  Solution s = solve_with_presolve(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[z], 1.0, 1e-9);
+}
+
+TEST(Presolve, DetectsBoundCrossingViaSingletons) {
+  Model m;
+  int x = m.add_variable("x", 0.0, kInf, 1.0);
+  m.add_row(Sense::kGe, 5.0, {{x, 1.0}});
+  m.add_row(Sense::kLe, 3.0, {{x, 1.0}});
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, MergesDuplicateCoefficients) {
+  Model m;
+  int x = m.add_variable("x", 0.0, kInf, 1.0);
+  m.add_row(Sense::kGe, 6.0, {{x, 1.0}, {x, 2.0}});  // 3x >= 6
+  Presolved pre = presolve(m);
+  EXPECT_NEAR(pre.reduced.variable(0).lower, 2.0, 1e-12);
+}
+
+// Agreement sweep: presolve must never change status or optimum.
+class PresolveAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveAgreement, MatchesPlainSolve) {
+  util::Rng rng(60000 + GetParam());
+  const int nvars = static_cast<int>(rng.uniform_int(1, 6));
+  const int nrows = static_cast<int>(rng.uniform_int(1, 8));
+  Model m;
+  for (int i = 0; i < nvars; ++i) {
+    const double lo = static_cast<double>(rng.uniform_int(0, 2));
+    // Fixed variables with positive probability.
+    const double hi = rng.chance(0.25)
+                          ? lo
+                          : (rng.chance(0.5)
+                                 ? lo + static_cast<double>(
+                                            rng.uniform_int(0, 8))
+                                 : kInf);
+    m.add_variable("v", lo, hi,
+                   static_cast<double>(rng.uniform_int(-3, 3)));
+  }
+  for (int r = 0; r < nrows; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i < nvars; ++i) {
+      if (rng.chance(0.5)) {
+        row.push_back({i, static_cast<double>(rng.uniform_int(-2, 3))});
+      }
+    }
+    // Singleton and empty rows occur naturally with these densities.
+    const Sense sense = rng.chance(0.3)   ? Sense::kEq
+                        : rng.chance(0.5) ? Sense::kGe
+                                          : Sense::kLe;
+    m.add_row(sense, static_cast<double>(rng.uniform_int(-4, 8)), row);
+  }
+  Solution plain = solve(m);
+  Solution pre = solve_with_presolve(m);
+  ASSERT_NE(plain.status, Status::kIterLimit);
+  EXPECT_EQ(pre.status, plain.status);
+  if (plain.status == Status::kOptimal) {
+    EXPECT_NEAR(pre.objective, plain.objective,
+                1e-6 * (1.0 + std::abs(plain.objective)));
+    EXPECT_LE(m.max_violation(pre.x), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PresolveAgreement, ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace nat::lp

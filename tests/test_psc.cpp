@@ -1,0 +1,68 @@
+#include "reductions/prefix_sum_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace nat::red {
+namespace {
+
+TEST(PrefixDominates, Definition) {
+  EXPECT_TRUE(prefix_dominates({3, 1}, {2, 2}));    // 3>=2, 4>=4
+  EXPECT_FALSE(prefix_dominates({1, 3}, {2, 2}));   // 1 < 2
+  EXPECT_TRUE(prefix_dominates({2, 2}, {2, 2}));
+  EXPECT_TRUE(prefix_dominates({5, 0}, {1, 1}));    // later shortfall ok
+  EXPECT_FALSE(prefix_dominates({2, 0}, {1, 2}));   // 2 < 3 at j=2
+  EXPECT_TRUE(prefix_dominates({}, {}));
+}
+
+TEST(Psc, ValidateRejectsNonPositiveU) {
+  PscInstance inst;
+  inst.u = {{1, 0}};
+  inst.v = {1, 1};
+  inst.k = 1;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+}
+
+TEST(Psc, BruteForceKnownCases) {
+  // Two vectors; either alone dominates (2,1); both needed for (3,3).
+  PscInstance inst;
+  inst.u = {{2, 1}, {1, 2}};
+  inst.v = {2, 1};
+  inst.k = 1;
+  EXPECT_TRUE(psc_feasible_brute_force(inst));
+  inst.v = {3, 3};
+  EXPECT_FALSE(psc_feasible_brute_force(inst));
+  inst.k = 2;
+  EXPECT_TRUE(psc_feasible_brute_force(inst));
+  EXPECT_EQ(psc_minimum_brute_force(inst).value(), 2);
+}
+
+TEST(Psc, ZeroTargetNeedsNothing) {
+  PscInstance inst;
+  inst.u = {{1}};
+  inst.v = {0};
+  inst.k = 0;
+  EXPECT_TRUE(psc_feasible_brute_force(inst));
+  EXPECT_EQ(psc_minimum_brute_force(inst).value(), 0);
+}
+
+TEST(Psc, MonotoneInK) {
+  // Positivity of u makes feasibility monotone in k.
+  PscInstance inst;
+  inst.u = {{3, 1}, {2, 2}, {1, 1}};
+  inst.v = {4, 3};
+  for (int k = 0; k <= 3; ++k) {
+    inst.k = k;
+    if (psc_feasible_brute_force(inst)) {
+      for (int k2 = k; k2 <= 3; ++k2) {
+        inst.k = k2;
+        EXPECT_TRUE(psc_feasible_brute_force(inst)) << "k=" << k2;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nat::red

@@ -1,0 +1,123 @@
+#include "numeric/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nat::num {
+namespace {
+
+using util::Rng;
+
+Rational Q(std::int64_t n, std::int64_t d = 1) {
+  return Rational::from_int64(n, d);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  EXPECT_EQ(Q(2, 4).to_string(), "1/2");
+  EXPECT_EQ(Q(-2, 4).to_string(), "-1/2");
+  EXPECT_EQ(Q(2, -4).to_string(), "-1/2");
+  EXPECT_EQ(Q(-2, -4).to_string(), "1/2");
+  EXPECT_EQ(Q(0, 17).to_string(), "0");
+  EXPECT_EQ(Q(6, 3).to_string(), "2");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Q(1, 0), util::CheckError);
+  EXPECT_THROW(Q(1) / Q(0), util::CheckError);
+}
+
+TEST(Rational, FieldArithmeticKnownValues) {
+  EXPECT_EQ((Q(1, 2) + Q(1, 3)).to_string(), "5/6");
+  EXPECT_EQ((Q(1, 2) - Q(1, 3)).to_string(), "1/6");
+  EXPECT_EQ((Q(2, 3) * Q(3, 4)).to_string(), "1/2");
+  EXPECT_EQ((Q(2, 3) / Q(4, 9)).to_string(), "3/2");
+  EXPECT_EQ((-Q(5, 7)).to_string(), "-5/7");
+}
+
+TEST(Rational, RandomizedFieldAxioms) {
+  Rng rng(2024);
+  auto rand_q = [&rng]() {
+    return Q(rng.uniform_int(-50, 50), rng.uniform_int(1, 30));
+  };
+  for (int iter = 0; iter < 1500; ++iter) {
+    const Rational a = rand_q();
+    const Rational b = rand_q();
+    const Rational c = rand_q();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Q(0), a);
+    EXPECT_EQ(a * Q(1), a);
+    EXPECT_EQ(a - a, Q(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Q(1));
+    }
+  }
+}
+
+TEST(Rational, CompareIsConsistentWithDoubles) {
+  Rng rng(5);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const std::int64_t an = rng.uniform_int(-100, 100);
+    const std::int64_t ad = rng.uniform_int(1, 60);
+    const std::int64_t bn = rng.uniform_int(-100, 100);
+    const std::int64_t bd = rng.uniform_int(1, 60);
+    // Cross-multiplied exact comparison as the reference.
+    const bool lt = an * bd < bn * ad;
+    EXPECT_EQ(Q(an, ad) < Q(bn, bd), lt);
+  }
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Q(7, 2).floor().to_int64(), 3);
+  EXPECT_EQ(Q(7, 2).ceil().to_int64(), 4);
+  EXPECT_EQ(Q(-7, 2).floor().to_int64(), -4);
+  EXPECT_EQ(Q(-7, 2).ceil().to_int64(), -3);
+  EXPECT_EQ(Q(6, 2).floor().to_int64(), 3);
+  EXPECT_EQ(Q(6, 2).ceil().to_int64(), 3);
+  EXPECT_EQ(Q(0).floor().to_int64(), 0);
+}
+
+TEST(Rational, FloorCeilRandomized) {
+  Rng rng(77);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::int64_t n = rng.uniform_int(-10000, 10000);
+    const std::int64_t d = rng.uniform_int(1, 500);
+    const Rational q = Q(n, d);
+    const std::int64_t f = q.floor().to_int64();
+    const std::int64_t c = q.ceil().to_int64();
+    EXPECT_LE(Q(f), q);
+    EXPECT_LT(q, Q(f + 1));
+    EXPECT_GE(Q(c), q);
+    EXPECT_GT(q, Q(c - 1));
+  }
+}
+
+TEST(Rational, FromDoubleExactPowersOfTwo) {
+  EXPECT_EQ(Rational::from_double_exact(0.0), Q(0));
+  EXPECT_EQ(Rational::from_double_exact(1.0), Q(1));
+  EXPECT_EQ(Rational::from_double_exact(-3.0), Q(-3));
+  EXPECT_EQ(Rational::from_double_exact(0.5), Q(1, 2));
+  EXPECT_EQ(Rational::from_double_exact(0.75), Q(3, 4));
+  EXPECT_EQ(Rational::from_double_exact(-2.625), Q(-21, 8));
+}
+
+TEST(Rational, FromDoubleExactIntegersRoundTrip) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::int64_t v = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+    EXPECT_EQ(Rational::from_double_exact(static_cast<double>(v)), Q(v));
+  }
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Q(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Q(-1, 3).to_double(), -1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace nat::num

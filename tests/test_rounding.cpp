@@ -1,0 +1,82 @@
+#include "activetime/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "activetime/feasibility.hpp"
+#include "helpers.hpp"
+#include "lp/dense_simplex.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(EpsRounding, SnapsNearIntegers) {
+  EXPECT_EQ(eps_floor(2.9999999), 3);
+  EXPECT_EQ(eps_floor(3.0000001), 3);
+  EXPECT_EQ(eps_floor(2.5), 2);
+  EXPECT_EQ(eps_ceil(3.0000001), 3);
+  EXPECT_EQ(eps_ceil(2.9999999), 3);
+  EXPECT_EQ(eps_ceil(2.5), 3);
+  EXPECT_EQ(eps_floor(0.0), 0);
+  EXPECT_EQ(eps_ceil(0.0), 0);
+}
+
+struct Rounded {
+  LaminarForest forest;
+  std::vector<double> x;
+  std::vector<int> topmost;
+  RoundingResult result;
+};
+
+Rounded run(const Instance& inst) {
+  Rounded r{LaminarForest::build(inst), {}, {}, {}};
+  r.forest.canonicalize();
+  StrongLp lp = build_strong_lp(r.forest);
+  lp::Solution s = lp::solve(lp.model);
+  EXPECT_EQ(s.status, lp::Status::kOptimal);
+  FractionalSolution frac = unpack(lp, s);
+  push_down_transform(r.forest, lp, frac);
+  r.x = frac.x;
+  r.topmost = topmost_positive(r.forest, r.x);
+  r.result = round_solution(r.forest, r.x, r.topmost);
+  return r;
+}
+
+// Property sweep: Lemma 3.3 (the 9/5 budget), per-node sanity, and —
+// the heart of Section 4 — feasibility of the rounded vector.
+class RoundingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingSweep, Lemma33Budget) {
+  Rounded r = run(testing::mixed(GetParam()));
+  const double frac_total =
+      std::accumulate(r.x.begin(), r.x.end(), 0.0);
+  EXPECT_LE(static_cast<double>(r.result.total), 1.8 * frac_total + 1e-4)
+      << "x~([m]) must stay within (9/5) x([m])";
+}
+
+TEST_P(RoundingSweep, PerNodeBoundsAndMonotonicity) {
+  Rounded r = run(testing::mixed(GetParam()));
+  for (int i = 0; i < r.forest.num_nodes(); ++i) {
+    EXPECT_GE(r.result.x_tilde[i], 0);
+    EXPECT_LE(r.result.x_tilde[i], r.forest.node(i).length());
+    // Never rounds below the floor of the fractional value.
+    EXPECT_GE(r.result.x_tilde[i], eps_floor(r.x[i]) )
+        << "node " << i;
+    EXPECT_LE(r.result.x_tilde[i], eps_ceil(r.x[i]))
+        << "rounding only floors or ceils, node " << i;
+  }
+}
+
+TEST_P(RoundingSweep, RoundedVectorIsFeasible) {
+  // Theorem 4.5: the rounded slot counts schedule all jobs. This is the
+  // paper's main technical claim; zero repairs expected.
+  Rounded r = run(testing::mixed(GetParam()));
+  EXPECT_TRUE(feasible_with_counts(r.forest, r.result.x_tilde))
+      << "rounded vector infeasible on instance " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundingSweep, ::testing::Range(0, 160));
+
+}  // namespace
+}  // namespace nat::at

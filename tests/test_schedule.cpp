@@ -1,0 +1,67 @@
+#include "activetime/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+namespace {
+
+Instance two_jobs() {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 4, 2}, Job{1, 3, 1}};
+  return inst;
+}
+
+TEST(Schedule, ValidAssignmentPasses) {
+  Schedule s;
+  s.assignment = {{0, 1}, {1}};
+  EXPECT_TRUE(is_valid_schedule(two_jobs(), s));
+  EXPECT_NO_THROW(validate_schedule(two_jobs(), s));
+  EXPECT_EQ(s.active_slots(), 2);
+  EXPECT_EQ(s.active_times(), (std::vector<Time>{0, 1}));
+}
+
+TEST(Schedule, FailureInjection) {
+  const Instance inst = two_jobs();
+  std::string why;
+
+  Schedule wrong_count;
+  wrong_count.assignment = {{0}, {1}};
+  EXPECT_FALSE(is_valid_schedule(inst, wrong_count, &why));
+  EXPECT_NE(why.find("needs"), std::string::npos);
+
+  Schedule outside_window;
+  outside_window.assignment = {{0, 1}, {0}};  // job 1 released at 1
+  EXPECT_FALSE(is_valid_schedule(inst, outside_window, &why));
+  EXPECT_NE(why.find("outside window"), std::string::npos);
+
+  Schedule duplicate_slot;
+  duplicate_slot.assignment = {{1, 1}, {2}};
+  EXPECT_FALSE(is_valid_schedule(inst, duplicate_slot, &why));
+  EXPECT_NE(why.find("increasing"), std::string::npos);
+
+  Schedule missing_job;
+  missing_job.assignment = {{0, 1}};
+  EXPECT_FALSE(is_valid_schedule(inst, missing_job, &why));
+
+  // Overload a slot: g = 2, three jobs at t = 1.
+  Instance threeg = inst;
+  threeg.jobs.push_back(Job{0, 4, 1});
+  Schedule overload;
+  overload.assignment = {{1, 2}, {1}, {1}};
+  EXPECT_FALSE(is_valid_schedule(threeg, overload, &why));
+  EXPECT_NE(why.find("exceeds g"), std::string::npos);
+  EXPECT_THROW(validate_schedule(threeg, overload), util::CheckError);
+}
+
+TEST(Schedule, EmptyScheduleForEmptyInstance) {
+  Schedule s;
+  EXPECT_TRUE(is_valid_schedule(Instance{1, {}}, s));
+  EXPECT_EQ(s.active_slots(), 0);
+}
+
+}  // namespace
+}  // namespace nat::at

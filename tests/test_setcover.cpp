@@ -1,0 +1,66 @@
+#include "reductions/setcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nat::red {
+namespace {
+
+using util::Rng;
+
+TEST(SetCover, KnownMinima) {
+  // Universe {0,1,2}, sets {0,1}, {1,2}, {2} -> minimum 2.
+  SetCoverInstance inst{3, {{0, 1}, {1, 2}, {2}}};
+  EXPECT_EQ(setcover_minimum(inst).value(), 2);
+
+  // A single set covering everything.
+  SetCoverInstance one{3, {{0, 1, 2}, {0}}};
+  EXPECT_EQ(setcover_minimum(one).value(), 1);
+
+  // Uncoverable element.
+  SetCoverInstance bad{3, {{0, 1}}};
+  EXPECT_FALSE(setcover_minimum(bad).has_value());
+  EXPECT_FALSE(setcover_greedy(bad).has_value());
+
+  // Empty universe needs zero sets.
+  SetCoverInstance empty{0, {{}}};
+  EXPECT_EQ(setcover_minimum(empty).value(), 0);
+}
+
+TEST(SetCover, ValidateRejectsOutOfRange) {
+  SetCoverInstance inst{2, {{0, 5}}};
+  EXPECT_THROW(inst.validate(), util::CheckError);
+}
+
+TEST(SetCover, GreedyCoversAndIsNeverBelowOptimum) {
+  Rng rng(808);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int d = static_cast<int>(rng.uniform_int(1, 8));
+    const int n = static_cast<int>(rng.uniform_int(1, 7));
+    SetCoverInstance inst;
+    inst.universe = d;
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> set;
+      for (int e = 0; e < d; ++e) {
+        if (rng.chance(0.45)) set.push_back(e);
+      }
+      inst.sets.push_back(std::move(set));
+    }
+    auto opt = setcover_minimum(inst);
+    auto greedy = setcover_greedy(inst);
+    ASSERT_EQ(opt.has_value(), greedy.has_value());
+    if (!opt.has_value()) continue;
+    // Verify the greedy pick actually covers.
+    std::vector<bool> covered(d, false);
+    for (int s : *greedy) {
+      for (int e : inst.sets[s]) covered[e] = true;
+    }
+    for (int e = 0; e < d; ++e) EXPECT_TRUE(covered[e]);
+    EXPECT_GE(static_cast<int>(greedy->size()), *opt);
+  }
+}
+
+}  // namespace
+}  // namespace nat::red

@@ -1,0 +1,149 @@
+#include "activetime/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(LaminarForest, BuildSmallNested) {
+  const Instance inst = testing::small_nested();
+  LaminarForest f = LaminarForest::build(inst);
+  f.check_invariants();
+  // Windows: [0,10), [2,5), [2,3), [6,9) -> 4 nodes, 1 root.
+  EXPECT_EQ(f.num_nodes(), 4);
+  ASSERT_EQ(f.roots().size(), 1u);
+  const int root = f.roots()[0];
+  EXPECT_EQ(f.node(root).interval, (Interval{0, 10}));
+  EXPECT_EQ(f.node(root).children.size(), 2u);
+  // Root exclusive length: 10 - 3 - 3 = 4.
+  EXPECT_EQ(f.node(root).length(), 4);
+}
+
+TEST(LaminarForest, JobsMapToTheirWindows) {
+  const Instance inst = testing::small_nested();
+  LaminarForest f = LaminarForest::build(inst);
+  for (int j = 0; j < inst.num_jobs(); ++j) {
+    EXPECT_EQ(f.node(f.node_of_job(j)).interval, inst.jobs[j].window());
+  }
+  // Jobs 3 and 4 share the window [6,9) and thus the node.
+  EXPECT_EQ(f.node_of_job(3), f.node_of_job(4));
+}
+
+TEST(LaminarForest, RejectsCrossingWindows) {
+  EXPECT_THROW(LaminarForest::build(testing::crossing()), util::CheckError);
+}
+
+TEST(LaminarForest, ForestWithMultipleRoots) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 2, 1}, Job{5, 8, 2}, Job{5, 7, 1}};
+  LaminarForest f = LaminarForest::build(inst);
+  f.check_invariants();
+  EXPECT_EQ(f.roots().size(), 2u);
+}
+
+TEST(LaminarForest, AncestorAndDepth) {
+  LaminarForest f = LaminarForest::build(testing::small_nested());
+  const int root = f.roots()[0];
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    EXPECT_TRUE(f.is_ancestor(root, i));
+    EXPECT_TRUE(f.is_ancestor(i, i));
+    if (i != root) {
+      EXPECT_FALSE(f.is_ancestor(i, root));
+      EXPECT_GT(f.depth(i), 0);
+    }
+  }
+}
+
+TEST(LaminarForest, PostorderVisitsChildrenFirst) {
+  LaminarForest f = LaminarForest::build(testing::small_nested());
+  std::vector<int> pos(f.num_nodes());
+  const auto& order = f.postorder();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(f.num_nodes()));
+  for (std::size_t p = 0; p < order.size(); ++p) pos[order[p]] = static_cast<int>(p);
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    for (int c : f.node(i).children) EXPECT_LT(pos[c], pos[i]);
+  }
+}
+
+TEST(LaminarForest, CanonicalizeMakesLeavesRigid) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 8, 3}, Job{0, 8, 2}};  // one window, longest job 3 < 8
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_FALSE(f.is_canonical());
+  f.canonicalize();
+  f.check_invariants();
+  EXPECT_TRUE(f.is_canonical());
+  // The longest job's window shrank to the new rigid leaf [0, 3).
+  bool found = false;
+  for (const Job& job : f.jobs()) {
+    if (job.processing == 3) {
+      EXPECT_EQ(job.window(), (Interval{0, 3}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LaminarForest, CanonicalizeBinarizesWideNodes) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 20, 1},  Job{1, 3, 2},  Job{4, 6, 2},
+               Job{7, 9, 2},   Job{10, 12, 2}};  // root with 4 children
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  f.check_invariants();
+  EXPECT_TRUE(f.is_canonical());
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    EXPECT_LE(f.node(i).children.size(), 2u);
+    if (f.node(i).is_virtual) {
+      EXPECT_EQ(f.node(i).length(), 0);
+      EXPECT_TRUE(f.node(i).jobs.empty());
+    }
+  }
+}
+
+TEST(LaminarForest, CanonicalizePreservesJobCountAndShrinksWindows) {
+  for (int id = 0; id < 30; ++id) {
+    const Instance inst = testing::random_small(id);
+    LaminarForest f = LaminarForest::build(inst);
+    f.canonicalize();
+    f.check_invariants();
+    EXPECT_TRUE(f.is_canonical());
+    ASSERT_EQ(f.jobs().size(), inst.jobs.size());
+    for (std::size_t j = 0; j < inst.jobs.size(); ++j) {
+      EXPECT_EQ(f.jobs()[j].processing, inst.jobs[j].processing);
+      EXPECT_TRUE(f.jobs()[j].window().inside(inst.jobs[j].window()))
+          << "canonicalization must only shrink windows";
+    }
+  }
+}
+
+// Property sweep: invariants hold for random instances, and exclusive
+// lengths always partition the root span.
+class TreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSweep, InvariantsBeforeAndAfterCanonicalize) {
+  const Instance inst = testing::random_small(GetParam());
+  LaminarForest f = LaminarForest::build(inst);
+  f.check_invariants();
+  Time pre_total = 0;
+  for (int i = 0; i < f.num_nodes(); ++i) pre_total += f.node(i).length();
+  f.canonicalize();
+  f.check_invariants();
+  Time post_total = 0;
+  for (int i = 0; i < f.num_nodes(); ++i) post_total += f.node(i).length();
+  EXPECT_EQ(pre_total, post_total)
+      << "canonicalization must not create or destroy slots";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeSweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace nat::at

@@ -1,0 +1,140 @@
+// Laminar-forest edge cases: degenerate shapes that the random sweeps
+// rarely produce.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "activetime/solver.hpp"
+#include "activetime/tree.hpp"
+#include "baselines/exact.hpp"
+#include "io/dot.hpp"
+#include "util/check.hpp"
+
+namespace nat::at {
+namespace {
+
+TEST(TreeEdge, SingleJobSingleNode) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{5, 8, 3}};
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.num_nodes(), 1);
+  EXPECT_EQ(f.node(0).length(), 3);
+  f.canonicalize();
+  EXPECT_TRUE(f.is_canonical());
+  EXPECT_EQ(f.num_nodes(), 1);  // already rigid: p == L
+}
+
+TEST(TreeEdge, ManyJobsSameWindowDifferentLengths) {
+  Instance inst;
+  inst.g = 3;
+  inst.jobs = {Job{0, 6, 1}, Job{0, 6, 4}, Job{0, 6, 2}, Job{0, 6, 4}};
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.num_nodes(), 1);
+  EXPECT_EQ(f.node(0).jobs.size(), 4u);
+  f.canonicalize();
+  f.check_invariants();
+  // Longest job (p=4 < 6) split off a rigid child; exactly one of the
+  // two length-4 jobs moved.
+  EXPECT_EQ(f.num_nodes(), 2);
+  int moved = 0;
+  for (const Job& job : f.jobs()) {
+    if (job.window() == (Interval{0, 4})) ++moved;
+  }
+  EXPECT_EQ(moved, 1);
+}
+
+TEST(TreeEdge, DeepChain) {
+  // Ten levels of strictly nested windows.
+  Instance inst;
+  inst.g = 2;
+  for (Time d = 0; d < 10; ++d) {
+    inst.jobs.push_back(Job{d, 40 - d, 1});
+  }
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.num_nodes(), 10);
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    EXPECT_LE(f.node(i).children.size(), 1u);
+  }
+  EXPECT_EQ(f.depth(f.postorder().front()), 9);
+  f.canonicalize();
+  f.check_invariants();
+  NestedSolveResult r = solve_nested(inst);
+  validate_schedule(inst, r.schedule);
+  // All ten unit jobs share the innermost window: OPT = ceil(10/2) = 5.
+  auto opt = baselines::exact_opt_laminar(inst);
+  EXPECT_EQ(opt->optimum, 5);
+}
+
+TEST(TreeEdge, VeryWideNodeBinarizesToChain) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs.push_back(Job{0, 100, 1});
+  const int kids = 12;
+  for (int i = 0; i < kids; ++i) {
+    inst.jobs.push_back(Job{2 + 8 * i, 2 + 8 * i + 3, 2});
+  }
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.node(f.roots()[0]).children.size(),
+            static_cast<std::size_t>(kids));
+  f.canonicalize();
+  f.check_invariants();
+  EXPECT_TRUE(f.is_canonical());
+  // Binarization adds kids-2 virtual nodes for the root.
+  int virtuals = 0;
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    virtuals += f.node(i).is_virtual ? 1 : 0;
+  }
+  EXPECT_EQ(virtuals, kids - 2);
+  NestedSolveResult r = solve_nested(inst);
+  validate_schedule(inst, r.schedule);
+}
+
+TEST(TreeEdge, TouchingSiblingsShareNoSlots) {
+  // Windows [0,3) and [3,6) touch; they must be siblings, not nested.
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 6, 1}, Job{0, 3, 2}, Job{3, 6, 2}};
+  LaminarForest f = LaminarForest::build(inst);
+  EXPECT_EQ(f.num_nodes(), 3);
+  const int root = f.roots()[0];
+  EXPECT_EQ(f.node(root).children.size(), 2u);
+  EXPECT_EQ(f.node(root).length(), 0);  // children tile the root
+  NestedSolveResult r = solve_nested(inst);
+  validate_schedule(inst, r.schedule);
+  EXPECT_EQ(baselines::exact_opt_laminar(inst)->optimum, 5);
+}
+
+TEST(TreeEdge, DotExportMentionsEveryNode) {
+  Instance inst;
+  inst.g = 2;
+  inst.jobs = {Job{0, 10, 2}, Job{1, 4, 1}, Job{5, 8, 1}};
+  LaminarForest f = LaminarForest::build(inst);
+  f.canonicalize();
+  NestedSolveResult r = solve_nested(inst);
+  std::ostringstream os;
+  io::DotOptions opt;
+  opt.x_fractional = r.x_fractional;
+  opt.x_rounded = r.x_rounded;
+  io::write_dot(os, f, opt);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph laminar"), std::string::npos);
+  for (int i = 0; i < f.num_nodes(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+  EXPECT_NE(dot.find("x~="), std::string::npos);
+}
+
+TEST(TreeEdge, GapsBetweenSiblingsBelongToParent) {
+  Instance inst;
+  inst.g = 1;
+  inst.jobs = {Job{0, 12, 2}, Job{2, 4, 1}, Job{8, 10, 1}};
+  LaminarForest f = LaminarForest::build(inst);
+  const int root = f.roots()[0];
+  // Root owns [0,2), [4,8), [10,12): length 8.
+  EXPECT_EQ(f.node(root).length(), 8);
+  EXPECT_EQ(f.node(root).owned.size(), 3u);
+}
+
+}  // namespace
+}  // namespace nat::at

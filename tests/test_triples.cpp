@@ -1,0 +1,114 @@
+#include "activetime/triples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "activetime/feasibility.hpp"
+#include "activetime/lp_transform.hpp"
+#include "activetime/rounding.hpp"
+#include "helpers.hpp"
+#include "lp/dense_simplex.hpp"
+
+namespace nat::at {
+namespace {
+
+struct PipelineRun {
+  LaminarForest forest;
+  std::vector<double> x;
+  std::vector<int> topmost;
+  RoundingResult rounded;
+  TripleAnalysis triples;
+};
+
+PipelineRun run_pipeline(const Instance& inst) {
+  PipelineRun r{LaminarForest::build(inst), {}, {}, {}, {}};
+  r.forest.canonicalize();
+  StrongLp lp = build_strong_lp(r.forest);
+  lp::Solution s = lp::solve(lp.model);
+  EXPECT_EQ(s.status, lp::Status::kOptimal);
+  FractionalSolution frac = unpack(lp, s);
+  push_down_transform(r.forest, lp, frac);
+  r.x = frac.x;
+  r.topmost = topmost_positive(r.forest, r.x);
+  r.rounded = round_solution(r.forest, r.x, r.topmost);
+  r.triples = build_triples(r.forest, r.x, r.rounded.x_tilde, r.topmost);
+  return r;
+}
+
+TEST(Triples, Lemma51FamilyProducesTypeCNodes) {
+  // On the Lemma 5.1 family the group nodes carry x = 1 + 1/g, the
+  // canonical type-C regime, for g >= 4 (1 + 1/g < 4/3).
+  PipelineRun r = run_pipeline(gen::lemma51_gap(8));
+  EXPECT_GT(r.triples.num_c1 + r.triples.num_c2, 0)
+      << "expected type-C nodes on the gap family";
+  EXPECT_FALSE(r.triples.ran_out_of_c2);
+}
+
+// Property sweep over families rich in fractional nodes.
+class TripleSweep : public ::testing::TestWithParam<int> {};
+
+Instance sweep_instance(int id) {
+  if (id < 12) return gen::lemma51_gap(4 + id);  // g = 4..15
+  return testing::mixed(id - 12);
+}
+
+TEST_P(TripleSweep, ClassificationIsConsistent) {
+  PipelineRun r = run_pipeline(sweep_instance(GetParam()));
+  // Every topmost node got a type; no other node did.
+  std::vector<bool> in_topmost(r.forest.num_nodes(), false);
+  for (int i : r.topmost) in_topmost[i] = true;
+  for (int i = 0; i < r.forest.num_nodes(); ++i) {
+    EXPECT_EQ(r.triples.type[i] != NodeType::kNotInI, in_topmost[i]);
+  }
+}
+
+TEST_P(TripleSweep, Lemma49NeverRunsOutOfC2) {
+  PipelineRun r = run_pipeline(sweep_instance(GetParam()));
+  EXPECT_FALSE(r.triples.ran_out_of_c2)
+      << "Algorithm 2 ran out of unused C2 nodes (Lemma 4.9 violated)";
+}
+
+TEST_P(TripleSweep, TriplesAreDisjointAndWellTyped) {
+  PipelineRun r = run_pipeline(sweep_instance(GetParam()));
+  std::vector<int> use_count(r.forest.num_nodes(), 0);
+  for (const auto& t : r.triples.triples) {
+    EXPECT_EQ(r.triples.type[t[0]], NodeType::kC1);
+    EXPECT_EQ(r.triples.type[t[1]], NodeType::kC2);
+    EXPECT_EQ(r.triples.type[t[2]], NodeType::kC2);
+    for (int i : t) ++use_count[i];
+  }
+  for (int i = 0; i < r.forest.num_nodes(); ++i) {
+    EXPECT_LE(use_count[i], 1) << "node reused across triples";
+  }
+}
+
+TEST_P(TripleSweep, Lemma47WhenFewCNodes) {
+  PipelineRun r = run_pipeline(sweep_instance(GetParam()));
+  // With <= 2 type-C nodes and >= 1 type-B node, every C is C2
+  // (Lemma 4.7: the rounding could afford to round them all up).
+  const int c = r.triples.num_c1 + r.triples.num_c2;
+  if (c <= 2 && r.triples.num_b >= 1) {
+    EXPECT_EQ(r.triples.num_c1, 0);
+  }
+}
+
+TEST_P(TripleSweep, Lemma411Structure) {
+  PipelineRun r = run_pipeline(sweep_instance(GetParam()));
+  for (const auto& t : r.triples.triples) {
+    const int i1 = t[0];
+    const int par = r.forest.node(i1).parent;
+    if (par < 0) continue;  // degenerate (root C1): nothing to check
+    const bool a = r.forest.is_ancestor(par, t[1]) &&
+                   r.forest.is_ancestor(par, t[2]);
+    bool brother_pair = r.forest.node(t[1]).parent == par;
+    const int grandpar = r.forest.node(par).parent;
+    const bool b = brother_pair && grandpar >= 0 &&
+                   r.forest.is_ancestor(grandpar, t[2]);
+    EXPECT_TRUE(a || b) << "triple (" << t[0] << ',' << t[1] << ',' << t[2]
+                        << ") matches neither case of Lemma 4.11";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TripleSweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace nat::at

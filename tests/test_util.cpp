@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nat::util {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    NAT_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Rng a2(1), c2(2);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Rng, UniformIntInRangeAndCoversRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkIsDeterministicAndIndexDependent) {
+  // Same parent state + same index => same child stream.
+  Rng g1 = Rng(5).fork(7);
+  Rng g2 = Rng(5).fork(7);
+  EXPECT_EQ(g1(), g2());
+  // Different indices give different streams.
+  Rng h1 = Rng(5).fork(1);
+  Rng h2 = Rng(5).fork(2);
+  EXPECT_NE(h1(), h2());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); }, 7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(5, 6, [&](std::size_t i) { EXPECT_EQ(i, 5u); ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Stopwatch, MeasuresForward) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace nat::util
