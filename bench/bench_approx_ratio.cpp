@@ -6,8 +6,10 @@
 // (Lemma 3.3) and feasibility of the rounding (Theorem 4.5). The
 // harness asserts the hard 1.8 bound on every instance and reports the
 // observed averages (typically far below the bound).
+#include <algorithm>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 #include "activetime/solver.hpp"
 #include "baselines/exact.hpp"
@@ -28,7 +30,14 @@ struct FamilyRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: a tiny CI cell — few instances per family — so the binary
+  // is exercised end to end without the full sweep's runtime.
+  bool smoke = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--smoke") smoke = true;
+  }
+
   const std::vector<FamilyRow> families = {
       {"loose laminar (g=3)", bench::loose_instance, 3, 60},
       {"loose laminar (g=6)", bench::loose_instance, 6, 60},
@@ -57,7 +66,10 @@ int main() {
     int opt_hits = 0;
     int violations = 0;
     std::mutex mu;
-    util::parallel_for(0, static_cast<std::size_t>(family.instances),
+    const int instances = smoke ? std::min(family.instances, 3)
+                                : family.instances;
+    bench::begin_cell_metrics();
+    util::parallel_for(0, static_cast<std::size_t>(instances),
                        [&](std::size_t id) {
       const at::Instance inst =
           family.make(static_cast<int>(id), family.g);
@@ -75,18 +87,24 @@ int main() {
       }
     });
     table.add_row({family.name,
-                   io::Table::num(static_cast<std::int64_t>(family.instances)),
+                   io::Table::num(static_cast<std::int64_t>(instances)),
                    io::Table::num(vs_opt.avg()), io::Table::num(vs_opt.max),
                    io::Table::num(vs_lp.avg()), io::Table::num(vs_lp.max),
                    io::Table::num(static_cast<std::int64_t>(opt_hits)),
                    io::Table::num(static_cast<std::int64_t>(violations))});
+    // Per-cell metrics dump (no-op unless NAT_BENCH_REPORT_DIR is set);
+    // instance stats are the family's id-0 representative, counters
+    // and spans aggregate the whole cell.
+    obs::RunSummary cell = bench::instance_summary(family.make(0, family.g));
+    cell.solver = "nested";
+    bench::emit_cell_report("bench_approx_ratio", family.name, cell);
   }
   table.print_markdown(std::cout);
 
   std::cout << "\n# Lemma 5.1 family (worst known for the LP bound)\n\n";
   io::Table gap({"g", "active", "OPT", "LP", "ratio vs OPT",
                  "9/5 bound holds"});
-  for (std::int64_t g = 2; g <= 10; ++g) {
+  for (std::int64_t g = 2; g <= (smoke ? 3 : 10); ++g) {
     const at::Instance inst = at::gen::lemma51_gap(g);
     at::NestedSolveResult r = at::solve_nested(inst);
     const std::int64_t opt = g + (g + 1) / 2;

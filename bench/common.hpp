@@ -6,11 +6,16 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "activetime/instance.hpp"
 #include "instances/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace nat::bench {
@@ -64,5 +69,60 @@ struct RatioStats {
   }
   double avg() const { return count ? sum / count : 0.0; }
 };
+
+/// --- per-cell observability reports --------------------------------------
+///
+/// When NAT_BENCH_REPORT_DIR is set, every bench cell can dump its
+/// counters/spans as a JSON run report (schema: docs/OBSERVABILITY.md).
+/// Usage per cell:
+///
+///   begin_cell_metrics();                    // zero counters + spans
+///   ... run the cell's solves ...
+///   emit_cell_report("bench_foo", "cell-name", summary);
+///
+/// Reports land at <dir>/<bench>__<cell>.json with the cell name
+/// sanitized for filenames. No-ops (returning false) when the env var
+/// is unset, so benches pay nothing by default.
+
+inline const char* report_dir() { return std::getenv("NAT_BENCH_REPORT_DIR"); }
+
+inline void begin_cell_metrics() {
+  if (!report_dir()) return;
+  obs::reset_all();
+  obs::clear_spans();
+}
+
+inline bool emit_cell_report(const std::string& bench,
+                             const std::string& cell,
+                             const obs::RunSummary& summary) {
+  const char* dir = report_dir();
+  if (!dir) return false;
+  std::string safe;
+  for (char c : cell) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    safe += ok ? c : '_';
+  }
+  std::ofstream out(std::string(dir) + "/" + bench + "__" + safe + ".json");
+  if (!out) return false;
+  obs::write_report(out, summary);
+  return true;
+}
+
+/// RunSummary prefilled with `instance`'s stats (outcome fields are
+/// left for the caller).
+inline obs::RunSummary instance_summary(const at::Instance& instance) {
+  obs::RunSummary s;
+  s.jobs = instance.num_jobs();
+  s.g = instance.g;
+  const at::Interval h = instance.horizon();
+  s.horizon_lo = h.lo;
+  s.horizon_hi = h.hi;
+  s.volume = instance.total_volume();
+  s.volume_lower_bound = instance.volume_lower_bound();
+  s.laminar = instance.is_laminar();
+  return s;
+}
 
 }  // namespace nat::bench

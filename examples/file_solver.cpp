@@ -3,6 +3,13 @@
 //
 //   $ ./examples/file_solver < instance.txt
 //   $ ./examples/file_solver instance.txt --greedy
+//   $ ./examples/file_solver instance.txt --report run.json
+//
+// --report <file> dumps the run as a JSON observability report
+// (schema in docs/OBSERVABILITY.md): instance stats, per-stage wall-ns
+// trace spans, every pipeline counter (simplex pivots, Dinic
+// augmentations, push-down moves, rounding decisions, ...), and the
+// final cost against the LP lower bound.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -10,15 +17,42 @@
 #include "activetime/solver.hpp"
 #include "baselines/greedy.hpp"
 #include "io/serialize.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+nat::obs::RunSummary base_summary(const nat::at::Instance& instance) {
+  nat::obs::RunSummary s;
+  s.jobs = instance.num_jobs();
+  s.g = instance.g;
+  const nat::at::Interval h = instance.horizon();
+  s.horizon_lo = h.lo;
+  s.horizon_hi = h.hi;
+  s.volume = instance.total_volume();
+  s.volume_lower_bound = instance.volume_lower_bound();
+  s.laminar = instance.is_laminar();
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace nat;
   std::string path;
+  std::string report_path;
   bool use_greedy = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--greedy") {
       use_greedy = true;
+    } else if (arg == "--report") {
+      if (a + 1 >= argc) {
+        std::cerr << "--report needs a file argument\n";
+        return 1;
+      }
+      report_path = argv[++a];
     } else {
       path = arg;
     }
@@ -41,7 +75,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Scope counters and spans to this run so the report covers exactly
+  // the solve below.
+  obs::reset_all();
+  obs::clear_spans();
+
   std::cout << at::summary(instance) << '\n';
+  obs::RunSummary summary = base_summary(instance);
   try {
     if (use_greedy || !instance.is_laminar()) {
       if (!instance.is_laminar()) {
@@ -49,15 +89,32 @@ int main(int argc, char** argv) {
                      "3-approximation (works on any instance)\n";
       }
       auto r = at::baselines::greedy_minimal_feasible(instance);
+      summary.solver = "greedy";
+      summary.active_slots = r.active_slots;
       io::write_schedule(std::cout, instance, r.schedule);
     } else {
       at::NestedSolveResult r = at::solve_nested(instance);
+      summary.solver = "nested";
+      summary.active_slots = r.active_slots;
+      summary.lp_objective = r.lp_value;
+      summary.lp_iterations = r.lp_iterations;
+      summary.repairs = r.repairs;
       std::cout << "LP lower bound: " << r.lp_value << '\n';
       io::write_schedule(std::cout, instance, r.schedule);
     }
   } catch (const std::exception& e) {
     std::cerr << "solve failed: " << e.what() << '\n';
     return 1;
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "cannot write report to " << report_path << '\n';
+      return 1;
+    }
+    obs::write_report(out, summary);
+    std::cout << "report written to " << report_path << '\n';
   }
   return 0;
 }

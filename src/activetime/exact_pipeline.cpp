@@ -6,6 +6,7 @@
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/tree.hpp"
 #include "lp/exact_simplex.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -122,8 +123,14 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
   ExactPipelineResult result;
   if (instance.jobs.empty()) return result;
 
-  LaminarForest forest = LaminarForest::build(instance);
-  forest.canonicalize();
+  obs::Span span_total("solve_nested_exact");
+
+  LaminarForest forest = [&] {
+    obs::Span span("solve_nested_exact/tree_build");
+    LaminarForest f = LaminarForest::build(instance);
+    f.canonicalize();
+    return f;
+  }();
   {
     std::vector<Time> full(forest.num_nodes());
     for (int i = 0; i < forest.num_nodes(); ++i) {
@@ -133,8 +140,14 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
                   "instance is infeasible");
   }
 
-  StrongLp lp = build_strong_lp(forest);
-  lp::ExactSolution sol = lp::solve_exact(lp.model);
+  StrongLp lp = [&] {
+    obs::Span span("solve_nested_exact/lp_build");
+    return build_strong_lp(forest);
+  }();
+  lp::ExactSolution sol = [&] {
+    obs::Span span("solve_nested_exact/lp_solve");
+    return lp::solve_exact(lp.model);
+  }();
   NAT_CHECK_MSG(sol.status == lp::Status::kOptimal,
                 "exact LP did not solve: " << lp::to_string(sol.status));
   result.lp_value = sol.objective;
@@ -147,7 +160,10 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
                   "exact LP variable out of bounds at node " << i);
   }
 
-  exact_push_down(forest, x);
+  {
+    obs::Span span("solve_nested_exact/push_down");
+    exact_push_down(forest, x);
+  }
   // Certify the Lemma 3.1 fixed point exactly.
   for (int i = 0; i < forest.num_nodes(); ++i) {
     if (x[i].sign() <= 0) continue;
@@ -159,9 +175,13 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
   }
   result.x_fractional = x;
   result.topmost = exact_topmost(forest, x);
-  result.x_rounded = exact_round(forest, x, result.topmost);
+  {
+    obs::Span span("solve_nested_exact/rounding");
+    result.x_rounded = exact_round(forest, x, result.topmost);
+  }
 
   // Theorem 4.5: no repairs permitted in exact arithmetic.
+  obs::Span span_extract("solve_nested_exact/extract");
   auto schedule = schedule_with_counts(forest, result.x_rounded);
   NAT_CHECK_MSG(schedule.has_value(),
                 "exact rounding produced an infeasible vector — this "

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "flow/dinic.hpp"
+#include "obs/counters.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -57,6 +58,8 @@ SlotNetwork build_slot_network(const Instance& instance,
 
 bool feasible_with_slots(const Instance& instance,
                          const std::vector<Time>& open_slots) {
+  static obs::Counter& c = obs::counter("at.oracle.slot_checks");
+  c.add(1);
   SlotNetwork net = build_slot_network(instance, open_slots);
   return net.graph.max_flow(net.s, net.t) == instance.total_volume();
 }
@@ -154,6 +157,8 @@ std::int64_t total_volume(const LaminarForest& forest) {
 
 bool feasible_with_counts(const LaminarForest& forest,
                           const std::vector<Time>& open) {
+  static obs::Counter& c = obs::counter("at.oracle.count_checks");
+  c.add(1);
   RegionNetwork net = build_region_network(forest, open);
   return net.graph.max_flow(net.s, net.t) == total_volume(forest);
 }

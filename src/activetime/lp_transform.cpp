@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/counters.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -12,6 +13,9 @@ void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
                          FractionalSolution& sol) {
   const int m = forest.num_nodes();
   NAT_CHECK(static_cast<int>(sol.x.size()) == m);
+
+  std::int64_t moves = 0;     // individual θ relocations i → d
+  double mass_moved = 0.0;    // total θ mass relocated down the tree
 
   // Reverse index: for each node, the (class, slot-in-class) pairs of
   // its y variables.
@@ -45,6 +49,8 @@ void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
       if (spare <= kFracEps || sol.x[i] <= kFracEps) continue;
       const double theta = std::min(spare, sol.x[i]);
       const double ratio = theta / sol.x[i];
+      ++moves;
+      mass_moved += theta;
       // Move a proportional share of every assignment from i to d.
       // Valid: d ∈ Des(i), so every class assignable to i is
       // assignable to d.
@@ -73,6 +79,11 @@ void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
     // classification is clean.
     if (sol.x[i] <= kFracEps) sol.x[i] = 0.0;
   }
+
+  static obs::Counter& c_moves = obs::counter("at.pushdown.moves");
+  static obs::Gauge& g_mass = obs::gauge("at.pushdown.mass_moved");
+  c_moves.add(moves);
+  g_mass.add(mass_moved);
 }
 
 std::vector<int> topmost_positive(const LaminarForest& forest,

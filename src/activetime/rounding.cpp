@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -26,10 +27,16 @@ RoundingResult round_solution(const LaminarForest& forest,
   std::vector<bool> in_topmost(m, false);
   for (int i : topmost) in_topmost[i] = true;
 
+  std::int64_t floors_taken = 0;  // topmost nodes floored strictly down
+  std::int64_t round_ups = 0;     // Line 3 up-roundings
+
   // Line 1: floor on I; elsewhere x is already integral (0 or L(i)).
   for (int i = 0; i < m; ++i) {
     if (in_topmost[i]) {
       out.x_tilde[i] = eps_floor(x[i]);
+      if (static_cast<double>(out.x_tilde[i]) < x[i] - kFracEps) {
+        ++floors_taken;
+      }
     } else {
       const std::int64_t v = eps_floor(x[i]);
       NAT_CHECK_MSG(std::abs(x[i] - static_cast<double>(v)) < 1e-4,
@@ -76,15 +83,26 @@ RoundingResult round_solution(const LaminarForest& forest,
       const std::int64_t up = eps_ceil(x[d]);
       rounded_sum += up - out.x_tilde[d];
       out.x_tilde[d] = up;
+      ++round_ups;
     }
   }
 
+  double frac_total = 0.0;
   for (int i = 0; i < m; ++i) {
     NAT_CHECK_MSG(out.x_tilde[i] >= 0 &&
                       out.x_tilde[i] <= forest.node(i).length(),
                   "rounded count out of range at node " << i);
     out.total += out.x_tilde[i];
+    frac_total += x[i];
   }
+
+  static obs::Counter& c_floors = obs::counter("at.rounding.floors");
+  static obs::Counter& c_ups = obs::counter("at.rounding.round_ups");
+  static obs::Gauge& g_slack = obs::gauge("at.rounding.budget_slack");
+  c_floors.add(floors_taken);
+  c_ups.add(round_ups);
+  // Unused headroom of the Lemma 3.3 budget: (9/5)·x([m]) − x~([m]).
+  g_slack.set(1.8 * frac_total - static_cast<double>(out.total));
   return out;
 }
 

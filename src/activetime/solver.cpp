@@ -7,6 +7,8 @@
 #include "activetime/rounding.hpp"
 #include "lp/bounded_simplex.hpp"
 #include "lp/dense_simplex.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -53,11 +55,18 @@ NestedSolveResult solve_nested(const Instance& instance,
   NestedSolveResult result;
   if (instance.jobs.empty()) return result;
 
-  LaminarForest forest = LaminarForest::build(instance);
-  forest.canonicalize();
+  obs::Span span_total("solve_nested");
+
+  LaminarForest forest = [&] {
+    obs::Span span("solve_nested/tree_build");
+    LaminarForest f = LaminarForest::build(instance);
+    f.canonicalize();
+    return f;
+  }();
 
   // Feasibility of the instance itself (all regions fully open).
   {
+    obs::Span span("solve_nested/feasibility_precheck");
     std::vector<Time> full(forest.num_nodes());
     for (int i = 0; i < forest.num_nodes(); ++i) {
       full[i] = forest.node(i).length();
@@ -66,9 +75,15 @@ NestedSolveResult solve_nested(const Instance& instance,
                   "instance is infeasible");
   }
 
-  StrongLp lp = build_strong_lp(forest, options.lp);
-  lp::Solution lps = options.bounded_lp_backend ? lp::solve_bounded(lp.model)
-                                                : lp::solve(lp.model);
+  StrongLp lp = [&] {
+    obs::Span span("solve_nested/lp_build");
+    return build_strong_lp(forest, options.lp);
+  }();
+  lp::Solution lps = [&] {
+    obs::Span span("solve_nested/lp_solve");
+    return options.bounded_lp_backend ? lp::solve_bounded(lp.model)
+                                      : lp::solve(lp.model);
+  }();
   NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
                 "strong LP did not solve: " << lp::to_string(lps.status));
   result.lp_value = lps.objective;
@@ -84,19 +99,29 @@ NestedSolveResult solve_nested(const Instance& instance,
     }
     result.x_fractional = frac.x;
   } else {
-    push_down_transform(forest, lp, frac);
+    {
+      obs::Span span("solve_nested/push_down");
+      push_down_transform(forest, lp, frac);
+    }
     result.x_fractional = frac.x;
     result.topmost = topmost_positive(forest, frac.x);
+    obs::Span span("solve_nested/rounding");
     RoundingResult rounded = round_solution(forest, frac.x, result.topmost);
     result.x_rounded = std::move(rounded.x_tilde);
   }
 
-  result.repairs = repair_counts(forest, result.x_rounded);
+  {
+    obs::Span span("solve_nested/repair");
+    result.repairs = repair_counts(forest, result.x_rounded);
+    static obs::Counter& c_repairs = obs::counter("at.solver.repairs");
+    c_repairs.add(result.repairs);
+  }
 
   if (options.trim_rounded) {
     // One pass suffices for minimality: feasibility is monotone in the
     // counts, so a slot that cannot be closed now never becomes
     // closable after further removals.
+    obs::Span span("solve_nested/trim");
     for (int i = 0; i < forest.num_nodes(); ++i) {
       while (result.x_rounded[i] > 0) {
         --result.x_rounded[i];
@@ -107,6 +132,7 @@ NestedSolveResult solve_nested(const Instance& instance,
     }
   }
 
+  obs::Span span_extract("solve_nested/extract");
   auto schedule = schedule_with_counts(forest, result.x_rounded);
   NAT_CHECK_MSG(schedule.has_value(), "post-repair extraction failed");
   result.schedule = std::move(*schedule);

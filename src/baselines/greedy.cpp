@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "activetime/feasibility.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +24,7 @@ const char* to_string(DeactivationOrder order) {
 GreedyResult greedy_minimal_feasible(const Instance& instance,
                                      DeactivationOrder order,
                                      std::uint64_t seed) {
+  obs::Span span_total("greedy_minimal_feasible");
   instance.validate();
   // Candidate slots: union of job windows.
   std::vector<Time> open;
@@ -74,14 +77,25 @@ GreedyResult greedy_minimal_feasible(const Instance& instance,
     }
   }
 
-  for (Time t : scan) {
-    std::vector<Time> without;
-    without.reserve(open.size() - 1);
-    for (Time u : open) {
-      if (u != t) without.push_back(u);
+  std::int64_t closed = 0;
+  {
+    obs::Span span("greedy_minimal_feasible/deactivation");
+    for (Time t : scan) {
+      std::vector<Time> without;
+      without.reserve(open.size() - 1);
+      for (Time u : open) {
+        if (u != t) without.push_back(u);
+      }
+      if (feasible_with_slots(instance, without)) {
+        open = std::move(without);
+        ++closed;
+      }
     }
-    if (feasible_with_slots(instance, without)) open = std::move(without);
   }
+  static obs::Counter& c_closed = obs::counter("baselines.greedy.closed");
+  static obs::Counter& c_kept = obs::counter("baselines.greedy.kept");
+  c_closed.add(closed);
+  c_kept.add(static_cast<std::int64_t>(open.size()));
 
   GreedyResult result;
   result.open_slots = open;

@@ -5,6 +5,7 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/counters.hpp"
 #include "util/check.hpp"
 
 namespace nat::flow {
@@ -36,6 +37,7 @@ bool MaxFlowGraph::bfs(int s, int t) {
   while (!q.empty()) {
     int v = q.front();
     q.pop();
+    edges_scanned_ += static_cast<std::int64_t>(head_[v].size());
     for (int id : head_[v]) {
       const Edge& e = edges_[id];
       if (e.cap > 0 && level_[e.to] < 0) {
@@ -50,6 +52,7 @@ bool MaxFlowGraph::bfs(int s, int t) {
 std::int64_t MaxFlowGraph::dfs(int v, int t, std::int64_t pushed) {
   if (v == t) return pushed;
   for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    ++edges_scanned_;
     int id = head_[v][i];
     Edge& e = edges_[id];
     if (e.cap <= 0 || level_[e.to] != level_[v] + 1) continue;
@@ -68,13 +71,27 @@ std::int64_t MaxFlowGraph::max_flow(int source, int sink) {
   NAT_CHECK(sink >= 0 && sink < num_nodes());
   NAT_CHECK(source != sink);
   std::int64_t total = 0;
+  std::int64_t phases = 0;
+  std::int64_t aug_paths = 0;
+  edges_scanned_ = 0;
   while (bfs(source, sink)) {
+    ++phases;
     iter_.assign(head_.size(), 0);
     while (std::int64_t pushed =
                dfs(source, sink, std::numeric_limits<std::int64_t>::max())) {
+      ++aug_paths;
       total += pushed;
     }
   }
+  // Flushed once per call: the hot loops above touch only plain members.
+  static obs::Counter& c_calls = obs::counter("flow.dinic.calls");
+  static obs::Counter& c_phases = obs::counter("flow.dinic.phases");
+  static obs::Counter& c_paths = obs::counter("flow.dinic.aug_paths");
+  static obs::Counter& c_scanned = obs::counter("flow.dinic.edges_scanned");
+  c_calls.add(1);
+  c_phases.add(phases);
+  c_paths.add(aug_paths);
+  c_scanned.add(edges_scanned_);
   return total;
 }
 

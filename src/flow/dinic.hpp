@@ -53,6 +53,7 @@ class MaxFlowGraph {
   std::vector<std::vector<int>> head_;     // adjacency: edge ids per node
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
+  std::int64_t edges_scanned_ = 0;  // per-max_flow work, flushed to obs
 };
 
 /// Reference Edmonds–Karp implementation used by property tests to

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/check.hpp"
 
 namespace nat::lp {
@@ -30,12 +31,14 @@ class BoundedSimplex {
     if (st != Status::kOptimal) {
       sol.status = st == Status::kUnbounded ? Status::kInfeasible : st;
       sol.iterations = iterations_;
+      flush_counters();
       return sol;
     }
     st = phase2();
     sol.status = st;
     sol.iterations = iterations_;
     if (st == Status::kOptimal) extract(model, sol);
+    flush_counters();
     return sol;
   }
 
@@ -147,6 +150,20 @@ class BoundedSimplex {
     }
     iterations_ = 0;
     use_bland_ = false;
+    pivots_ = 0;
+    bound_flips_ = 0;
+    degenerate_ = 0;
+  }
+
+  void flush_counters() const {
+    static obs::Counter& c_solves = obs::counter("lp.bounded.solves");
+    static obs::Counter& c_pivots = obs::counter("lp.bounded.pivots");
+    static obs::Counter& c_flips = obs::counter("lp.bounded.bound_flips");
+    static obs::Counter& c_degen = obs::counter("lp.bounded.degenerate");
+    c_solves.add(1);
+    c_pivots.add(pivots_);
+    c_flips.add(bound_flips_);
+    c_degen.add(degenerate_);
   }
 
   void reset_objrow(const std::vector<double>& c) {
@@ -258,6 +275,7 @@ class BoundedSimplex {
         }
         at_upper_[j] = !at_upper_[j];
         ++iterations_;
+        ++bound_flips_;
         continue;
       }
 
@@ -275,6 +293,8 @@ class BoundedSimplex {
       beta_[prow] = enter_value;
       at_upper_[j] = false;  // basic now; flag meaningless but keep clean
       ++iterations_;
+      ++pivots_;
+      if (limit <= tol_) ++degenerate_;
     }
   }
 
@@ -378,6 +398,7 @@ class BoundedSimplex {
   int structural_ = 0;
   double tol_ = 1e-9, feas_tol_ = 1e-7;
   std::int64_t iterations_ = 0, max_iterations_ = 0, bland_after_ = 0;
+  std::int64_t pivots_ = 0, bound_flips_ = 0, degenerate_ = 0;
   bool use_bland_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "lp/dense_simplex.hpp"
 
+#include "obs/counters.hpp"
+
 namespace nat::lp {
 
 Solution solve(const Model& model, const SolveOptions& options) {
@@ -8,7 +10,13 @@ Solution solve(const Model& model, const SolveOptions& options) {
   opt.tol = options.tol;
   opt.feas_tol = options.feas_tol;
   opt.max_iterations = options.max_iterations;
-  return solver.solve(model, opt);
+  Solution sol = solver.solve(model, opt);
+  // Every iteration of the dense tableau backend is a pivot.
+  static obs::Counter& c_solves = obs::counter("lp.dense.solves");
+  static obs::Counter& c_pivots = obs::counter("lp.dense.pivots");
+  c_solves.add(1);
+  c_pivots.add(sol.iterations);
+  return sol;
 }
 
 }  // namespace nat::lp

@@ -1,0 +1,90 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace nat::obs {
+
+namespace detail {
+
+unsigned shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Ordered maps keep snapshots name-sorted for free; the registry is
+// heap-allocated and never freed so counter references cached by other
+// translation units stay valid through static destruction.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    it = r.gauges
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> gauges_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.emplace_back(name, g->value());
+  return out;
+}
+
+void reset_all() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+}
+
+}  // namespace nat::obs

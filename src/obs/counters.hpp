@@ -1,0 +1,109 @@
+// Cheap named monotonic counters and gauges for pipeline observability.
+//
+// Counters are process-global, created on first use and kept alive for
+// the whole process (the registry is intentionally never destroyed, so
+// handles cached in function-local statics stay valid during shutdown).
+// Writes go to one of a small number of cache-line-padded shards chosen
+// per thread, so concurrent hot loops pay a single relaxed fetch_add on
+// a line they do not share; reads aggregate the shards.
+//
+// Hot-path idiom — accumulate locally, flush once per call:
+//
+//   std::int64_t scanned = 0;
+//   ... ++scanned in the loop ...
+//   static obs::Counter& c = obs::counter("flow.dinic.edges_scanned");
+//   c.add(scanned);
+//
+// Counters are monotonic int64 totals; gauges are double-valued and
+// support both set() (last write wins) and add(). Both reset to zero
+// via reset_all(), which report.hpp callers use to scope one solver run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nat::obs {
+
+inline constexpr unsigned kCounterShards = 8;  // power of two
+
+namespace detail {
+/// Stable per-thread shard index (round-robin over live threads).
+unsigned shard_index() noexcept;
+}  // namespace detail
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::int64_t delta = 1) noexcept {
+    shards_[detail::shard_index() & (kCounterShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const noexcept {
+    std::int64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::string name_;
+  Shard shards_[kCounterShards];
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    // CAS loop instead of fetch_add(double): portable to pre-C++20
+    // standard libraries and to every sanitizer configuration.
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Returns the process-wide counter/gauge registered under `name`,
+/// creating it on first use. Thread-safe; the reference stays valid for
+/// the rest of the process.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+
+/// Name-sorted snapshots of every registered counter / gauge.
+std::vector<std::pair<std::string, std::int64_t>> counters_snapshot();
+std::vector<std::pair<std::string, double>> gauges_snapshot();
+
+/// Zeroes every registered counter and gauge (names stay registered).
+/// Call before a solver run to scope a report to that run.
+void reset_all();
+
+}  // namespace nat::obs

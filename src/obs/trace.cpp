@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace nat::obs {
+
+namespace {
+
+struct Buffer {
+  std::mutex mu;
+  std::vector<SpanRecord> records;
+  std::size_t capacity = 4096;
+  std::int64_t dropped = 0;
+};
+
+Buffer& buffer() {
+  static Buffer* b = new Buffer;  // never destroyed; see counters.cpp
+  return *b;
+}
+
+/// Process trace epoch: all start_ns values are relative to this.
+const util::Stopwatch& epoch() {
+  static const util::Stopwatch* e = new util::Stopwatch;
+  return *e;
+}
+
+std::atomic<std::int64_t> next_id{0};
+
+struct OpenFrame {
+  std::int64_t id;
+};
+
+thread_local std::vector<OpenFrame> open_stack;
+
+}  // namespace
+
+Span::Span(std::string_view name)
+    : name_(name),
+      id_(next_id.fetch_add(1, std::memory_order_relaxed)),
+      start_ns_(epoch().nanos()) {
+  if (!open_stack.empty()) {
+    parent_ = open_stack.back().id;
+    depth_ = static_cast<int>(open_stack.size());
+  }
+  open_stack.push_back(OpenFrame{id_});
+  watch_.reset();
+}
+
+Span::~Span() {
+  const std::int64_t dur = watch_.nanos();
+  // Robust against mismatched lifetimes (e.g. a span member outliving
+  // its scope): pop our own frame and anything opened after it.
+  while (!open_stack.empty()) {
+    const bool mine = open_stack.back().id == id_;
+    open_stack.pop_back();
+    if (mine) break;
+  }
+  Buffer& b = buffer();
+  std::lock_guard lk(b.mu);
+  if (b.records.size() >= b.capacity) {
+    ++b.dropped;
+    return;
+  }
+  SpanRecord rec;
+  rec.name = std::move(name_);
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.depth = depth_;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = dur;
+  b.records.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> spans_snapshot() {
+  Buffer& b = buffer();
+  std::lock_guard lk(b.mu);
+  return b.records;
+}
+
+void clear_spans() {
+  Buffer& b = buffer();
+  std::lock_guard lk(b.mu);
+  b.records.clear();
+  b.dropped = 0;
+}
+
+void set_span_capacity(std::size_t capacity) {
+  Buffer& b = buffer();
+  std::lock_guard lk(b.mu);
+  b.capacity = capacity;
+}
+
+std::int64_t spans_dropped() {
+  Buffer& b = buffer();
+  std::lock_guard lk(b.mu);
+  return b.dropped;
+}
+
+}  // namespace nat::obs

@@ -1,0 +1,69 @@
+// RAII wall-clock trace spans with parent links and a bounded buffer.
+//
+// A Span measures the wall time between its construction and
+// destruction (util::Stopwatch underneath) and records itself into a
+// process-global, mutex-guarded, bounded buffer on close. Spans nest:
+// each thread keeps a stack of open spans, and a new span's parent is
+// the innermost open span on the same thread (ids are assigned at
+// construction, so a parent's id is known before it closes even though
+// children are recorded first).
+//
+// The buffer is bounded (default 4096 records); once full, further
+// spans are counted as dropped rather than recorded, so instrumented
+// hot loops cannot grow memory without bound. Span construction costs
+// one clock read + a relaxed id fetch; recording takes the buffer lock
+// once at destruction. Do not create spans inside per-element inner
+// loops — use counters there and span the enclosing stage instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace nat::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::int64_t id = 0;        // construction order, process-wide
+  std::int64_t parent = -1;   // id of the enclosing span, -1 at root
+  int depth = 0;              // nesting depth on the owning thread
+  std::int64_t start_ns = 0;  // relative to the process trace epoch
+  std::int64_t dur_ns = 0;
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  std::int64_t id() const { return id_; }
+
+ private:
+  std::string name_;
+  util::Stopwatch watch_;
+  std::int64_t id_ = 0;
+  std::int64_t parent_ = -1;
+  int depth_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Copy of all recorded (closed) spans, in recording order — children
+/// before their parents, since a span is recorded when it closes.
+std::vector<SpanRecord> spans_snapshot();
+
+/// Discards all recorded spans and the dropped-span count. Open spans
+/// are unaffected (they record as usual when they close).
+void clear_spans();
+
+/// Caps the record buffer; excess spans are dropped, not recorded.
+void set_span_capacity(std::size_t capacity);
+
+/// Spans dropped since the last clear_spans() because the buffer was full.
+std::int64_t spans_dropped();
+
+}  // namespace nat::obs

@@ -1,7 +1,9 @@
-// Monotonic stopwatch for coarse per-phase timing in bench harnesses.
+// Monotonic stopwatch for coarse per-phase timing in bench harnesses
+// and for the wall-ns readings of obs/trace.hpp spans.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace nat::util {
 
@@ -16,6 +18,12 @@ class Stopwatch {
   }
 
   double millis() const { return seconds() * 1e3; }
+
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -1,0 +1,25 @@
+# Asserts every tests/test_*.cpp is registered via nat_add_test in
+# tests/CMakeLists.txt. Run as a ctest case:
+#   cmake -DTEST_DIR=<tests dir> -P check_registration.cmake
+if(NOT DEFINED TEST_DIR)
+  message(FATAL_ERROR "pass -DTEST_DIR=<path to tests/>")
+endif()
+
+file(READ "${TEST_DIR}/CMakeLists.txt" _lists)
+file(GLOB _sources RELATIVE "${TEST_DIR}" "${TEST_DIR}/test_*.cpp")
+
+set(_missing "")
+foreach(_src IN LISTS _sources)
+  get_filename_component(_name "${_src}" NAME_WE)
+  if(NOT _lists MATCHES "nat_add_test\\(${_name}\\)")
+    list(APPEND _missing "${_name}")
+  endif()
+endforeach()
+
+if(_missing)
+  message(FATAL_ERROR
+    "test sources not registered with nat_add_test in tests/CMakeLists.txt: "
+    "${_missing}")
+endif()
+list(LENGTH _sources _count)
+message(STATUS "all ${_count} test sources registered")

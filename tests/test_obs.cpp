@@ -1,0 +1,275 @@
+// Observability subsystem: counter sharding under the thread pool,
+// span nesting and bounding, the Json round trip, and the golden-key
+// schema check of a real solver run report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "activetime/solver.hpp"
+#include "io/serialize.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nat {
+namespace {
+
+TEST(Counters, SingleThreadAddAndReset) {
+  obs::Counter& c = obs::counter("test.single");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counters, SameNameSameCounter) {
+  obs::Counter& a = obs::counter("test.alias");
+  obs::Counter& b = obs::counter("test.alias");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(Counters, ShardingCorrectUnderThreadPool) {
+  obs::Counter& c = obs::counter("test.sharded");
+  c.reset();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::int64_t kPerTask = 10000;
+  util::parallel_for(0, kTasks, [&](std::size_t) {
+    for (std::int64_t k = 0; k < kPerTask; ++k) c.add();
+  });
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kTasks) * kPerTask);
+}
+
+TEST(Counters, ConcurrentDistinctCountersDoNotCross) {
+  obs::Counter& a = obs::counter("test.cross.a");
+  obs::Counter& b = obs::counter("test.cross.b");
+  a.reset();
+  b.reset();
+  util::parallel_for(0, 32, [&](std::size_t i) {
+    (i % 2 ? a : b).add(static_cast<std::int64_t>(i));
+  });
+  std::int64_t odd = 0, even = 0;
+  for (std::int64_t i = 0; i < 32; ++i) (i % 2 ? odd : even) += i;
+  EXPECT_EQ(a.value(), odd);
+  EXPECT_EQ(b.value(), even);
+}
+
+TEST(Counters, SnapshotIsNameSortedAndContainsRegistered) {
+  obs::counter("test.snap.x").reset();
+  auto snap = obs::counters_snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  bool found = false;
+  for (const auto& [name, value] : snap) found |= name == "test.snap.x";
+  EXPECT_TRUE(found);
+}
+
+TEST(Gauges, SetAddValue) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(1.5);
+  g.add(2.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauges, ConcurrentAddIsLossless) {
+  obs::Gauge& g = obs::gauge("test.gauge.concurrent");
+  g.reset();
+  util::parallel_for(0, 64, [&](std::size_t) {
+    for (int k = 0; k < 1000; ++k) g.add(0.5);
+  });
+  EXPECT_DOUBLE_EQ(g.value(), 64 * 1000 * 0.5);
+}
+
+TEST(Trace, NestingParentAndDepth) {
+  obs::clear_spans();
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+      obs::Span sibling_after("innermost");
+    }
+  }
+  auto spans = obs::spans_snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Recorded on close: children first.
+  EXPECT_EQ(spans[0].name, "innermost");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent, -1);
+  EXPECT_EQ(spans[2].depth, 0);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_GE(spans[2].dur_ns, spans[1].dur_ns);
+  EXPECT_GE(spans[1].dur_ns, 0);
+  EXPECT_GE(spans[1].start_ns, spans[2].start_ns);
+}
+
+TEST(Trace, BoundedBufferDropsAndClears) {
+  obs::clear_spans();
+  obs::set_span_capacity(2);
+  for (int i = 0; i < 5; ++i) obs::Span s("overflow");
+  EXPECT_EQ(obs::spans_snapshot().size(), 2u);
+  EXPECT_EQ(obs::spans_dropped(), 3);
+  obs::set_span_capacity(4096);
+  obs::clear_spans();
+  EXPECT_TRUE(obs::spans_snapshot().empty());
+  EXPECT_EQ(obs::spans_dropped(), 0);
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  obs::Json j = obs::Json::object();
+  j["int"] = std::int64_t{42};
+  j["neg"] = std::int64_t{-7};
+  j["pi"] = 3.25;
+  j["flag"] = true;
+  j["nul"] = obs::Json();
+  j["text"] = "line\n\"quoted\"\\and\ttab";
+  obs::Json arr = obs::Json::array();
+  arr.push_back(std::int64_t{1});
+  arr.push_back("two");
+  j["arr"] = std::move(arr);
+
+  for (int indent : {-1, 2}) {
+    obs::Json back = obs::Json::parse(j.dump(indent));
+    EXPECT_EQ(back.find("int")->as_int(), 42);
+    EXPECT_EQ(back.find("neg")->as_int(), -7);
+    EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.25);
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_TRUE(back.find("nul")->is_null());
+    EXPECT_EQ(back.find("text")->as_string(), "line\n\"quoted\"\\and\ttab");
+    ASSERT_EQ(back.find("arr")->size(), 2u);
+    EXPECT_EQ(back.find("arr")->at(0).as_int(), 1);
+    EXPECT_EQ(back.find("arr")->at(1).as_string(), "two");
+  }
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  obs::Json j = obs::Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  const std::string text = j.dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  obs::Json j = obs::Json::object();
+  j["nan"] = std::nan("");
+  EXPECT_EQ(j.dump(), "{\"nan\":null}");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_THROW(obs::Json::parse("{"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("[1,]"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("{} trailing"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("nulL"), util::CheckError);
+}
+
+/// Resolves "a/b" paths against the report; counters' own names
+/// contain dots, so '/' separates levels.
+const obs::Json* resolve(const obs::Json& root, const std::string& path) {
+  const obs::Json* cur = &root;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::string key = path.substr(
+        pos, slash == std::string::npos ? std::string::npos : slash - pos);
+    cur = cur->find(key);
+    if (!cur || slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  return cur;
+}
+
+TEST(Report, GoldenKeysOnCorpusInstance) {
+  std::ifstream in(std::string(NAT_CORPUS_DIR) + "/binary_nest_d3.txt");
+  ASSERT_TRUE(in) << "corpus instance missing";
+  const at::Instance instance = io::read_instance(in);
+
+  obs::reset_all();
+  obs::clear_spans();
+  const at::NestedSolveResult r = at::solve_nested(instance);
+
+  obs::RunSummary summary;
+  summary.solver = "nested";
+  summary.jobs = instance.num_jobs();
+  summary.g = instance.g;
+  summary.horizon_lo = instance.horizon().lo;
+  summary.horizon_hi = instance.horizon().hi;
+  summary.volume = instance.total_volume();
+  summary.volume_lower_bound = instance.volume_lower_bound();
+  summary.laminar = instance.is_laminar();
+  summary.active_slots = r.active_slots;
+  summary.lp_objective = r.lp_value;
+  summary.lp_iterations = r.lp_iterations;
+  summary.repairs = r.repairs;
+
+  // Serialize, reparse, and check the parsed document — the golden
+  // file lists every key the schema promises.
+  const obs::Json report =
+      obs::Json::parse(obs::run_report(summary).dump(2));
+
+  std::ifstream golden(std::string(NAT_GOLDEN_DIR) +
+                       "/report_required_keys.txt");
+  ASSERT_TRUE(golden) << "golden key list missing";
+  std::string line;
+  int checked = 0;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const obs::Json* v = resolve(report, line);
+    EXPECT_NE(v, nullptr) << "report is missing required key: " << line;
+    ++checked;
+  }
+  EXPECT_GT(checked, 15) << "golden key list suspiciously short";
+
+  // Headline numbers survived the round trip.
+  EXPECT_EQ(resolve(report, "run/active_slots")->as_int(), r.active_slots);
+  EXPECT_NEAR(resolve(report, "run/lp_objective")->as_double(), r.lp_value,
+              1e-9);
+  EXPECT_GT(resolve(report, "counters/lp.dense.pivots")->as_int(), 0);
+  EXPECT_GT(resolve(report, "counters/flow.dinic.aug_paths")->as_int(), 0);
+
+  // Per-stage spans are present and the lp_solve span nests under the
+  // end-to-end solve_nested span.
+  const obs::Json* spans = resolve(report, "spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  std::int64_t total_id = -1, lp_parent = -2;
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < spans->size(); ++i) {
+    const obs::Json& s = spans->at(i);
+    names.insert(s.find("name")->as_string());
+    EXPECT_GE(s.find("dur_ns")->as_int(), 0);
+    if (s.find("name")->as_string() == "solve_nested") {
+      total_id = s.find("id")->as_int();
+    }
+    if (s.find("name")->as_string() == "solve_nested/lp_solve") {
+      lp_parent = s.find("parent")->as_int();
+    }
+  }
+  EXPECT_TRUE(names.count("solve_nested"));
+  EXPECT_TRUE(names.count("solve_nested/lp_solve"));
+  EXPECT_TRUE(names.count("solve_nested/rounding"));
+  EXPECT_TRUE(names.count("solve_nested/extract"));
+  EXPECT_EQ(lp_parent, total_id);
+}
+
+}  // namespace
+}  // namespace nat
