@@ -1,0 +1,355 @@
+// bench_oracle — the incremental feasibility oracle vs fresh
+// per-query solves, and the serial vs parallel ceiling sweep.
+//
+// Two measurements, both recorded to BENCH_oracle.json (--out) so the
+// perf trajectory accumulates across PRs (docs/PERFORMANCE.md):
+//
+//  * oracle replay: the solver's real query traffic — feasibility
+//    precheck, trim to minimality, then a repair walk with probe
+//    scans — replayed once per instance against (a) fresh
+//    feasible_with_counts solves and (b) one warm-started
+//    FeasibilityOracle. Final count vectors are asserted identical.
+//  * ceiling sweep: the per-node OPT_i lower bounds feeding the strong
+//    LP's constraints (7)/(8), computed serially and across thread
+//    pools of increasing size; results are asserted identical per
+//    worker count.
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "activetime/feasibility.hpp"
+#include "activetime/opt_bounds.hpp"
+#include "activetime/oracle.hpp"
+#include "activetime/tree.hpp"
+#include "bench/common.hpp"
+#include "io/table.hpp"
+#include "obs/report.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nat;
+using at::LaminarForest;
+using at::Time;
+
+namespace {
+
+/// The three oracle operations the replay needs, so the same driver
+/// runs against fresh solves and the incremental oracle.
+struct Engine {
+  std::function<bool(const std::vector<Time>&)> feasible;
+  // Probe "+1 on region i" against `counts` (may briefly mutate it).
+  std::function<bool(std::vector<Time>&, int)> probe;
+  // Min-cut filter; the fresh engine has no certificate and probes all.
+  std::function<bool(int)> can_help;
+};
+
+Engine fresh_engine(const LaminarForest& forest) {
+  Engine e;
+  e.feasible = [&forest](const std::vector<Time>& c) {
+    return at::feasible_with_counts(forest, c);
+  };
+  e.probe = [&forest](std::vector<Time>& c, int i) {
+    ++c[i];
+    const bool ok = at::feasible_with_counts(forest, c);
+    --c[i];
+    return ok;
+  };
+  e.can_help = [](int) { return true; };
+  return e;
+}
+
+Engine incremental_engine(at::FeasibilityOracle& oracle) {
+  Engine e;
+  e.feasible = [&oracle](const std::vector<Time>& c) {
+    return oracle.feasible(c);
+  };
+  e.probe = [&oracle](std::vector<Time>&, int i) {
+    return oracle.feasible_if_incremented(i);
+  };
+  e.can_help = [&oracle](int i) { return oracle.increment_can_help(i); };
+  return e;
+}
+
+/// Replays the solver's oracle traffic on one forest: precheck at
+/// all-open, trim to minimality, close every other open region, repair
+/// back with probe scans. Returns the query count; writes the final
+/// vector for cross-engine equality checks.
+std::int64_t replay(const LaminarForest& forest, const Engine& eng,
+                    std::vector<Time>* final_counts) {
+  const int m = forest.num_nodes();
+  std::int64_t queries = 0;
+  auto feasible = [&](const std::vector<Time>& c) {
+    ++queries;
+    return eng.feasible(c);
+  };
+
+  std::vector<Time> counts(m);
+  for (int i = 0; i < m; ++i) counts[i] = forest.node(i).length();
+  NAT_CHECK_MSG(feasible(counts), "generator produced infeasible instance");
+  for (int i = 0; i < m; ++i) {
+    while (counts[i] > 0) {
+      --counts[i];
+      if (feasible(counts)) continue;
+      ++counts[i];
+      break;
+    }
+  }
+
+  int closed = 0;
+  for (int i = 0; i < m && closed < 8; i += 2) {
+    if (counts[i] > 0) {
+      --counts[i];
+      ++closed;
+    }
+  }
+  while (!feasible(counts)) {
+    int chosen = -1;
+    for (int i = 0; i < m; ++i) {
+      if (counts[i] >= forest.node(i).length()) continue;
+      if (chosen < 0) chosen = i;
+      if (!eng.can_help(i)) continue;
+      ++queries;
+      if (eng.probe(counts, i)) {
+        chosen = i;
+        break;
+      }
+    }
+    NAT_CHECK(chosen >= 0);
+    ++counts[chosen];
+  }
+  *final_counts = counts;
+  return queries;
+}
+
+at::Instance large_instance(int id, std::int64_t g) {
+  at::gen::RandomLaminarParams params;
+  params.g = g;
+  params.max_depth = 5;
+  params.max_children = 3;
+  params.max_jobs_per_node = 4;
+  params.max_processing = 6;
+  util::Rng rng(700 + id);
+  return at::gen::random_laminar(params, rng);
+}
+
+struct OracleCell {
+  std::string name;
+  at::Instance (*make)(int, std::int64_t);
+  std::int64_t g;
+  int instances;
+};
+
+/// Dense laminar forest (high child probability): hundreds of regions,
+/// so the per-node ceiling sweep has enough independent tasks for the
+/// pool to matter. Seeds that roll a degenerate single-window tree are
+/// skipped by probing until a forest with >= 64 nodes appears.
+at::Instance dense_instance(int id, std::int64_t g) {
+  at::gen::RandomLaminarParams params;
+  params.g = g;
+  params.max_depth = 6;
+  params.max_children = 4;
+  params.child_probability = 0.95;
+  params.max_jobs_per_node = 6;
+  params.max_processing = 8;
+  for (int seed = 1100 + 8 * id;; ++seed) {
+    util::Rng rng(seed);
+    at::Instance inst = at::gen::random_laminar(params, rng);
+    if (LaminarForest::build(inst).num_nodes() >= 64) return inst;
+  }
+}
+
+struct CeilingCell {
+  std::string name;
+  at::Instance (*make)(int, std::int64_t);
+  std::int64_t g;
+  int instances;
+  int reps;  // sweep repetitions per measurement (tasks are microseconds)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_oracle.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && a + 1 < argc) out_path = argv[++a];
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "nat-bench-oracle-v1";
+  doc["smoke"] = smoke;
+  doc["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+
+  // --- oracle replay: fresh vs incremental --------------------------------
+  const std::vector<OracleCell> cells = {
+      {"loose laminar (g=3)", bench::loose_instance, 3, 40},
+      {"contended (g=6)", bench::contended_instance, 6, 40},
+      {"large laminar (g=8)", large_instance, 8, 12},
+  };
+
+  std::cout << "# bench_oracle — incremental feasibility oracle\n\n"
+            << "Replay of the solver's precheck/trim/repair query traffic"
+               " per instance;\nfresh = rebuild + solve per query,"
+               " incremental = one warm-started oracle.\n\n";
+  io::Table table({"cell", "instances", "queries", "fresh s", "incr s",
+                   "speedup", "warm hit rate"});
+  obs::Json cells_json = obs::Json::array();
+  for (const OracleCell& cell : cells) {
+    const int instances = smoke ? std::min(cell.instances, 3) : cell.instances;
+    std::vector<LaminarForest> forests;
+    for (int id = 0; id < instances; ++id) {
+      LaminarForest f = LaminarForest::build(cell.make(id, cell.g));
+      f.canonicalize();
+      forests.push_back(std::move(f));
+    }
+
+    std::int64_t queries = 0;
+    std::vector<std::vector<Time>> fresh_counts(forests.size());
+    util::Stopwatch fresh_watch;
+    for (std::size_t k = 0; k < forests.size(); ++k) {
+      Engine eng = fresh_engine(forests[k]);
+      queries += replay(forests[k], eng, &fresh_counts[k]);
+    }
+    const double fresh_s = fresh_watch.seconds();
+
+    bench::begin_cell_metrics();
+    obs::counter("at.oracle.queries").reset();  // scope the hit rate
+    obs::counter("at.oracle.warm_queries").reset();
+    util::Stopwatch incr_watch;
+    for (std::size_t k = 0; k < forests.size(); ++k) {
+      at::FeasibilityOracle oracle(forests[k]);
+      Engine eng = incremental_engine(oracle);
+      std::vector<Time> counts;
+      replay(forests[k], eng, &counts);
+      NAT_CHECK_MSG(counts == fresh_counts[k],
+                    "engines disagree on " << cell.name << " #" << k);
+    }
+    const double incr_s = incr_watch.seconds();
+    const std::int64_t oracle_queries =
+        obs::counter("at.oracle.queries").value();
+    const double hit_rate =
+        oracle_queries > 0
+            ? static_cast<double>(
+                  obs::counter("at.oracle.warm_queries").value()) /
+                  static_cast<double>(oracle_queries)
+            : 0.0;
+    const double speedup = incr_s > 0 ? fresh_s / incr_s : 0.0;
+
+    table.add_row({cell.name, io::Table::num(std::int64_t{instances}),
+                   io::Table::num(queries), io::Table::num(fresh_s, 4),
+                   io::Table::num(incr_s, 4), io::Table::num(speedup, 2),
+                   io::Table::num(hit_rate, 3)});
+
+    obs::Json j = obs::Json::object();
+    j["name"] = cell.name;
+    j["instances"] = std::int64_t{instances};
+    j["queries"] = queries;
+    j["fresh_seconds"] = fresh_s;
+    j["incremental_seconds"] = incr_s;
+    j["speedup"] = speedup;
+    j["warm_hit_rate"] = hit_rate;
+    cells_json.push_back(std::move(j));
+
+    obs::RunSummary summary;
+    summary.solver = "oracle_replay";
+    summary.jobs = instances;
+    bench::emit_cell_report("bench_oracle", cell.name, summary, incr_s);
+  }
+  table.print_markdown(std::cout);
+  doc["oracle_cells"] = std::move(cells_json);
+
+  // --- ceiling sweep: serial vs pooled ------------------------------------
+  const std::vector<CeilingCell> ceiling_cells = {
+      {"contended (g=6)", bench::contended_instance, 6, 24, 50},
+      {"large laminar (g=8)", large_instance, 8, 8, 50},
+      {"dense laminar (g=8)", dense_instance, 8, 6, 20},
+  };
+  const std::vector<std::size_t> worker_counts = {2, 4};
+
+  std::cout << "\nPer-node OPT_i ceiling sweep (constraints (7)/(8)),"
+               " serial vs thread pool.\n\n";
+  io::Table ceiling_table({"cell", "nodes", "serial s", "2 workers s",
+                           "4 workers s", "speedup@2", "speedup@4"});
+  obs::Json ceiling_json = obs::Json::array();
+  for (const CeilingCell& cell : ceiling_cells) {
+    const int instances = smoke ? std::min(cell.instances, 2) : cell.instances;
+    const int reps = smoke ? std::min(cell.reps, 3) : cell.reps;
+    std::vector<LaminarForest> forests;
+    std::int64_t nodes = 0;
+    for (int id = 0; id < instances; ++id) {
+      LaminarForest f = LaminarForest::build(cell.make(id, cell.g));
+      f.canonicalize();
+      nodes += f.num_nodes();
+      forests.push_back(std::move(f));
+    }
+
+    std::vector<std::vector<int>> serial_lb(forests.size());
+    util::Stopwatch serial_watch;
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t k = 0; k < forests.size(); ++k) {
+        const int m = forests[k].num_nodes();
+        serial_lb[k].resize(m);
+        for (int i = 0; i < m; ++i) {
+          serial_lb[k][i] = at::opt_lower_bound(forests[k], i);
+        }
+      }
+    }
+    const double serial_s = serial_watch.seconds();
+
+    std::vector<double> pooled_s;
+    for (std::size_t workers : worker_counts) {
+      util::ThreadPool pool(workers);
+      util::Stopwatch watch;
+      for (int r = 0; r < reps; ++r) {
+        for (std::size_t k = 0; k < forests.size(); ++k) {
+          const LaminarForest& f = forests[k];
+          const int m = f.num_nodes();
+          std::vector<int> lb(m);
+          // Same grain as the production sweep in lp_relaxation.cpp.
+          util::parallel_for(
+              pool, 0, static_cast<std::size_t>(m),
+              [&](std::size_t i) {
+                lb[i] = at::opt_lower_bound(f, static_cast<int>(i));
+              },
+              /*grain=*/16);
+          NAT_CHECK_MSG(lb == serial_lb[k],
+                        "pooled sweep diverged at " << workers << " workers");
+        }
+      }
+      pooled_s.push_back(watch.seconds());
+    }
+
+    ceiling_table.add_row(
+        {cell.name, io::Table::num(nodes), io::Table::num(serial_s, 4),
+         io::Table::num(pooled_s[0], 4), io::Table::num(pooled_s[1], 4),
+         io::Table::ratio(serial_s, pooled_s[0], 2),
+         io::Table::ratio(serial_s, pooled_s[1], 2)});
+
+    obs::Json j = obs::Json::object();
+    j["name"] = cell.name;
+    j["instances"] = std::int64_t{instances};
+    j["reps"] = std::int64_t{reps};
+    j["nodes"] = nodes;
+    j["serial_seconds"] = serial_s;
+    j["workers2_seconds"] = pooled_s[0];
+    j["workers4_seconds"] = pooled_s[1];
+    j["speedup_workers2"] = pooled_s[0] > 0 ? serial_s / pooled_s[0] : 0.0;
+    j["speedup_workers4"] = pooled_s[1] > 0 ? serial_s / pooled_s[1] : 0.0;
+    ceiling_json.push_back(std::move(j));
+  }
+  ceiling_table.print_markdown(std::cout);
+  doc["ceiling_cells"] = std::move(ceiling_json);
+
+  std::ofstream out(out_path);
+  NAT_CHECK_MSG(static_cast<bool>(out), "cannot open " << out_path);
+  out << doc.dump(2) << "\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -92,11 +92,30 @@ inline void begin_cell_metrics() {
   obs::clear_spans();
 }
 
+/// Derives the incremental-oracle headline gauges from the at.oracle.*
+/// counters so per-cell reports carry them directly: the warm-start hit
+/// rate (share of queries answered on a retained network) and, when the
+/// cell's elapsed wall-clock is known, the mean wall-time per oracle
+/// query in microseconds. emit_cell_report calls this automatically.
+inline void set_oracle_gauges(double cell_seconds = -1.0) {
+  const std::int64_t queries = obs::counter("at.oracle.queries").value();
+  if (queries <= 0) return;
+  const std::int64_t warm = obs::counter("at.oracle.warm_queries").value();
+  obs::gauge("at.oracle.warm_hit_rate")
+      .set(static_cast<double>(warm) / static_cast<double>(queries));
+  if (cell_seconds >= 0.0) {
+    obs::gauge("at.oracle.query_wall_us")
+        .set(cell_seconds * 1e6 / static_cast<double>(queries));
+  }
+}
+
 inline bool emit_cell_report(const std::string& bench,
                              const std::string& cell,
-                             const obs::RunSummary& summary) {
+                             const obs::RunSummary& summary,
+                             double cell_seconds = -1.0) {
   const char* dir = report_dir();
   if (!dir) return false;
+  set_oracle_gauges(cell_seconds);
   std::string safe;
   for (char c : cell) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||

@@ -4,6 +4,7 @@
 
 #include "activetime/feasibility.hpp"
 #include "activetime/lp_relaxation.hpp"
+#include "activetime/oracle.hpp"
 #include "activetime/tree.hpp"
 #include "lp/exact_simplex.hpp"
 #include "obs/trace.hpp"
@@ -132,12 +133,12 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
     return f;
   }();
   {
+    FeasibilityOracle oracle(forest);
     std::vector<Time> full(forest.num_nodes());
     for (int i = 0; i < forest.num_nodes(); ++i) {
       full[i] = forest.node(i).length();
     }
-    NAT_CHECK_MSG(feasible_with_counts(forest, full),
-                  "instance is infeasible");
+    NAT_CHECK_MSG(oracle.feasible(full), "instance is infeasible");
   }
 
   StrongLp lp = [&] {

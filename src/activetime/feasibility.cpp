@@ -193,24 +193,32 @@ std::optional<Schedule> schedule_with_counts(const LaminarForest& forest,
     }
     // Least-loaded greedy on descending volume. Always realizable since
     // each volume <= |slots| (arc capacity) and total <= g * |slots|.
+    // A (load, slot) min-heap replaces the former full re-sort per job:
+    // each slot sits in the heap exactly once, so picking a job's `vol`
+    // least-loaded slots is vol pops + vol pushes, with the same
+    // load-then-index order a stable sort by load produced.
     std::sort(region_jobs[i].rbegin(), region_jobs[i].rend());
-    std::vector<std::int64_t> load(slots.size(), 0);
+    std::priority_queue<std::pair<std::int64_t, int>,
+                        std::vector<std::pair<std::int64_t, int>>,
+                        std::greater<>>
+        least_loaded;
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      least_loaded.push({0, static_cast<int>(k)});
+    }
+    std::vector<std::pair<std::int64_t, int>> taken;
     for (const auto& [vol, job] : region_jobs[i]) {
-      // Pick the `vol` least-loaded slot indices.
-      std::vector<int> order(slots.size());
-      for (std::size_t k = 0; k < slots.size(); ++k) {
-        order[k] = static_cast<int>(k);
-      }
-      std::stable_sort(order.begin(), order.end(),
-                       [&](int a, int b) { return load[a] < load[b]; });
       NAT_CHECK_MSG(vol <= static_cast<std::int64_t>(slots.size()),
                     "region volume exceeds slot count");
+      taken.clear();
       for (std::int64_t k = 0; k < vol; ++k) {
-        int slot = order[static_cast<std::size_t>(k)];
-        NAT_CHECK_MSG(load[slot] < forest.g(),
+        taken.push_back(least_loaded.top());
+        least_loaded.pop();
+      }
+      for (const auto& [load, slot] : taken) {
+        NAT_CHECK_MSG(load < forest.g(),
                       "greedy slot fill exceeded capacity");
-        ++load[slot];
         sched.assignment[job].push_back(slots[slot]);
+        least_loaded.push({load + 1, slot});
       }
     }
   }

@@ -2,57 +2,10 @@
 
 #include <algorithm>
 
-#include "flow/dinic.hpp"
+#include "activetime/oracle.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
-
-namespace {
-
-/// Feasibility of the subtree's jobs when region `a` has `ca` open
-/// slots and region `b` has `cb` (a == b allowed with cb == 0).
-bool subtree_feasible(const LaminarForest& forest,
-                      const std::vector<int>& des,
-                      const std::vector<int>& node_pos, int a, Time ca, int b,
-                      Time cb) {
-  // Collect jobs and total volume.
-  std::int64_t volume = 0;
-  int n = 0;
-  for (int v : des) n += static_cast<int>(forest.node(v).jobs.size());
-  if (n == 0) return true;
-
-  const int m = static_cast<int>(des.size());
-  flow::MaxFlowGraph graph(n + m + 2);
-  const int s = n + m;
-  const int t = n + m + 1;
-
-  std::vector<Time> open(des.size(), 0);
-  open[node_pos[a]] += ca;
-  open[node_pos[b]] += cb;
-  for (int k = 0; k < m; ++k) {
-    if (open[k] > 0) {
-      graph.add_edge(n + k, t, forest.g() * open[k]);
-    }
-  }
-  int job_id = 0;
-  for (int v : des) {
-    for (int j : forest.node(v).jobs) {
-      const std::int64_t p = forest.jobs()[j].processing;
-      volume += p;
-      graph.add_edge(s, job_id, p);
-      // Job can use regions of Des(k(j)) — within the subtree those are
-      // exactly descendants of v.
-      for (int d : forest.subtree(v)) {
-        const int k = node_pos[d];
-        if (open[k] > 0) graph.add_edge(job_id, n + k, open[k]);
-      }
-      ++job_id;
-    }
-  }
-  return graph.max_flow(s, t) == volume;
-}
-
-}  // namespace
 
 bool opt_le_1(const LaminarForest& forest, int node) {
   std::vector<int> bearing;  // job-bearing nodes under `node`
@@ -93,22 +46,31 @@ bool opt_le_2(const LaminarForest& forest, int node) {
   if (volume > 2 * forest.g()) return false;
 
   const std::vector<int> des = forest.subtree(node);
-  std::vector<int> node_pos(forest.num_nodes(), -1);
-  for (std::size_t k = 0; k < des.size(); ++k) {
-    node_pos[des[k]] = static_cast<int>(k);
-  }
+  // One subtree-scoped oracle serves every candidate pair: consecutive
+  // queries differ in at most four entries, so each probe is a tiny
+  // capacity diff plus a warm-started augmentation instead of a fresh
+  // graph build (this sweep is the strong LP's ceiling-constraint
+  // bottleneck).
+  FeasibilityOracle oracle(forest, node);
+  std::vector<Time> open(forest.num_nodes(), 0);
+  auto pair_feasible = [&](int a, Time ca, int b, Time cb) {
+    open[a] += ca;
+    open[b] += cb;
+    const bool ok = oracle.feasible(open);
+    open[a] -= ca;
+    open[b] -= cb;
+    return ok;
+  };
   // Two slots in one region, or one in each of two regions.
   for (std::size_t ia = 0; ia < des.size(); ++ia) {
     const int a = des[ia];
     const Time la = forest.node(a).length();
-    if (la >= 2 && subtree_feasible(forest, des, node_pos, a, 2, a, 0)) {
-      return true;
-    }
+    if (la >= 2 && pair_feasible(a, 2, a, 0)) return true;
     if (la < 1) continue;
     for (std::size_t ib = ia + 1; ib < des.size(); ++ib) {
       const int b = des[ib];
       if (forest.node(b).length() < 1) continue;
-      if (subtree_feasible(forest, des, node_pos, a, 1, b, 1)) return true;
+      if (pair_feasible(a, 1, b, 1)) return true;
     }
   }
   return false;

@@ -1,0 +1,97 @@
+// Incremental region-level feasibility oracle (warm-started Lemma 4.1).
+//
+// feasibility.cpp's feasible_with_counts() rebuilds the region network
+// and solves max-flow from zero on every call. The solver's repair and
+// trim loops, the branch-and-bound baseline, and the OPT_i separation
+// probes of the strong LP all ask long *sequences* of such queries
+// whose open-count vectors differ in a handful of entries. This oracle
+// builds the network once, keeps the flow of the previous answer, and
+// turns each query into a capacity diff plus a warm-started Dinic
+// augmentation: a +1 on one region is a single augmentation attempt, a
+// -1 cancels at most the stranded units (flow/dinic.hpp
+// set_capacity()). Feasibility is a value test — the retained flow is
+// maximal after every public call, so `flow == total volume` answers
+// the query exactly as a fresh solve would.
+//
+// The oracle can also be scoped to one subtree (opt_bounds.cpp's
+// OPT_i <= 2 separation): only the subtree's jobs and regions enter
+// the network, and queries still take full-length vectors (entries
+// outside the scope are ignored).
+//
+// Warm-start invariants and the cancellation argument are documented
+// in docs/PERFORMANCE.md; at.oracle.* counters expose the reuse rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activetime/tree.hpp"
+#include "flow/dinic.hpp"
+
+namespace nat::at {
+
+class FeasibilityOracle {
+ public:
+  /// Builds the region network for `forest`, scoped to subtree(`root`)
+  /// (jobs and regions), or to the whole forest when root < 0. All
+  /// regions start closed (open count 0).
+  explicit FeasibilityOracle(const LaminarForest& forest, int root = -1);
+
+  /// True iff the scoped jobs fit when region i has open[i] open
+  /// slots. `open` is indexed by forest node id (full length);
+  /// entries outside the scope are ignored. Diffs against the
+  /// previously queried vector and augments the retained flow.
+  bool feasible(const std::vector<Time>& open);
+
+  /// Probe: would the last queried vector become feasible with one
+  /// more open slot in region `i`? Leaves the oracle's state (current
+  /// vector, retained flow) unchanged. Requires i in scope with
+  /// open[i] < L(i).
+  bool feasible_if_incremented(int i);
+
+  /// After a feasible() that returned false: necessary condition for a
+  /// +1 on region `i` to be able to restore feasibility, read off the
+  /// min cut of the retained maximal flow. If this returns false, the
+  /// increment provably cannot help (the certified cut's capacity does
+  /// not grow); if true, it might — probe to find out. Regions outside
+  /// the scope always return false.
+  bool increment_can_help(int i);
+
+  /// Unrouted volume under the last queried vector (0 iff feasible).
+  std::int64_t deficit() const { return volume_ - graph_.flow_value(); }
+
+  /// Total processing volume of the scoped jobs.
+  std::int64_t volume() const { return volume_; }
+
+  /// The open-count vector of the last feasible() call (all zeros
+  /// before the first).
+  const std::vector<Time>& current_open() const { return open_; }
+
+  const LaminarForest& forest() const { return forest_; }
+
+ private:
+  /// Retunes region i's sink edge and job arcs to `value` open slots;
+  /// returns the flow cancelled by stranding decreases.
+  std::int64_t apply_region(int i, Time value);
+  /// Augments to maximality; updates counters.
+  void augment();
+  const std::vector<bool>& cut_source_side();
+
+  const LaminarForest& forest_;
+  flow::MaxFlowGraph graph_;
+  int s_ = 0, t_ = 0;
+  std::int64_t volume_ = 0;
+
+  std::vector<int> scope_;         // forest node ids in scope (preorder)
+  std::vector<int> region_node_;   // forest node id -> graph node, -1 out
+  std::vector<int> sink_edge_;     // forest node id -> region→t edge, -1
+  // forest node id -> (job graph node, job→region edge id) arcs.
+  std::vector<std::vector<std::pair<int, int>>> region_arcs_;
+
+  std::vector<Time> open_;         // last queried vector (full length)
+  bool queried_ = false;           // becomes true at the first feasible()
+  bool cut_dirty_ = true;
+  std::vector<bool> cut_side_;     // cached min-cut source side
+};
+
+}  // namespace nat::at

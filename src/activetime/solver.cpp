@@ -4,6 +4,7 @@
 
 #include "activetime/feasibility.hpp"
 #include "activetime/lp_transform.hpp"
+#include "activetime/oracle.hpp"
 #include "activetime/rounding.hpp"
 #include "lp/bounded_simplex.hpp"
 #include "lp/dense_simplex.hpp"
@@ -18,24 +19,29 @@ namespace {
 /// Opens additional region slots until the rounded vector is
 /// flow-feasible. Only ever triggered by floating-point slack in the
 /// LP; returns the number of increments.
-int repair_counts(const LaminarForest& forest, std::vector<Time>& counts) {
+int repair_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
+                  std::vector<Time>& counts) {
   int repairs = 0;
   std::int64_t budget = 0;  // remaining closed slots; bounds the loop
   for (int i = 0; i < forest.num_nodes(); ++i) {
     budget += forest.node(i).length() - counts[i];
   }
-  while (!feasible_with_counts(forest, counts)) {
+  static obs::Counter& c_skips = obs::counter("at.oracle.cut_skips");
+  while (!oracle.feasible(counts)) {
     // Prefer an increment that fixes feasibility outright; otherwise
     // open any closable slot — all-open is feasible, so this makes
-    // progress toward a feasible vector.
+    // progress toward a feasible vector. The oracle's min-cut
+    // certificate rules most regions out without a probe: an increment
+    // that does not grow the certified cut cannot restore feasibility.
     int chosen = -1;
     for (int i = 0; i < forest.num_nodes(); ++i) {
       if (counts[i] >= forest.node(i).length()) continue;
       if (chosen < 0) chosen = i;
-      ++counts[i];
-      const bool fixed = feasible_with_counts(forest, counts);
-      --counts[i];
-      if (fixed) {
+      if (!oracle.increment_can_help(i)) {
+        c_skips.add(1);
+        continue;
+      }
+      if (oracle.feasible_if_incremented(i)) {
         chosen = i;
         break;
       }
@@ -64,6 +70,10 @@ NestedSolveResult solve_nested(const Instance& instance,
     return f;
   }();
 
+  // One incremental oracle serves the precheck, repair, and trim: the
+  // network is built once and each query warm-starts from the last.
+  FeasibilityOracle oracle(forest);
+
   // Feasibility of the instance itself (all regions fully open).
   {
     obs::Span span("solve_nested/feasibility_precheck");
@@ -71,8 +81,7 @@ NestedSolveResult solve_nested(const Instance& instance,
     for (int i = 0; i < forest.num_nodes(); ++i) {
       full[i] = forest.node(i).length();
     }
-    NAT_CHECK_MSG(feasible_with_counts(forest, full),
-                  "instance is infeasible");
+    NAT_CHECK_MSG(oracle.feasible(full), "instance is infeasible");
   }
 
   StrongLp lp = [&] {
@@ -112,7 +121,7 @@ NestedSolveResult solve_nested(const Instance& instance,
 
   {
     obs::Span span("solve_nested/repair");
-    result.repairs = repair_counts(forest, result.x_rounded);
+    result.repairs = repair_counts(forest, oracle, result.x_rounded);
     static obs::Counter& c_repairs = obs::counter("at.solver.repairs");
     c_repairs.add(result.repairs);
   }
@@ -125,7 +134,7 @@ NestedSolveResult solve_nested(const Instance& instance,
     for (int i = 0; i < forest.num_nodes(); ++i) {
       while (result.x_rounded[i] > 0) {
         --result.x_rounded[i];
-        if (feasible_with_counts(forest, result.x_rounded)) continue;
+        if (oracle.feasible(result.x_rounded)) continue;
         ++result.x_rounded[i];
         break;
       }

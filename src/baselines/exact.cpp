@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "activetime/feasibility.hpp"
+#include "activetime/oracle.hpp"
 #include "activetime/tree.hpp"
 #include "baselines/greedy.hpp"
 #include "util/check.hpp"
@@ -15,7 +16,7 @@ namespace {
 class RegionSearch {
  public:
   RegionSearch(const LaminarForest& forest, std::int64_t node_budget)
-      : forest_(forest), budget_(node_budget) {
+      : forest_(forest), oracle_(forest), budget_(node_budget) {
     const int m = forest.num_nodes();
     order_ = forest.postorder();
     pos_of_.assign(m, -1);
@@ -65,7 +66,7 @@ class RegionSearch {
  private:
   bool dfs(std::size_t pos, std::int64_t remaining) {
     if (pos == order_.size()) {
-      return feasible_with_counts(forest_, counts_);
+      return oracle_.feasible(counts_);
     }
     const int i = order_[pos];
     const Time cap = std::min<Time>(forest_.node(i).length(), remaining);
@@ -83,11 +84,13 @@ class RegionSearch {
       }
       if (sub_sum < sub_lb_[i]) continue;
       // Relaxation: assigned regions at their counts, the rest full.
+      // Successive relaxed vectors share almost every entry, so the
+      // warm-started oracle pays only for the decremented prefix.
       std::vector<Time> relaxed = counts_;
       for (std::size_t p = pos + 1; p < order_.size(); ++p) {
         relaxed[order_[p]] = forest_.node(order_[p]).length();
       }
-      if (!feasible_with_counts(forest_, relaxed)) continue;
+      if (!oracle_.feasible(relaxed)) continue;
       if (dfs(pos + 1, remaining - c)) return true;
       if (exhausted_) return false;
     }
@@ -96,6 +99,7 @@ class RegionSearch {
   }
 
   const LaminarForest& forest_;
+  FeasibilityOracle oracle_;
   std::vector<int> order_;
   std::vector<int> pos_of_;
   std::vector<int> size_;

@@ -70,6 +70,11 @@ std::int64_t MaxFlowGraph::max_flow(int source, int sink) {
   NAT_CHECK(source >= 0 && source < num_nodes());
   NAT_CHECK(sink >= 0 && sink < num_nodes());
   NAT_CHECK(source != sink);
+  NAT_CHECK_MSG(flow_value_ == 0 ||
+                    (source == last_source_ && sink == last_sink_),
+                "max_flow: endpoint change while flow is retained");
+  last_source_ = source;
+  last_sink_ = sink;
   std::int64_t total = 0;
   std::int64_t phases = 0;
   std::int64_t aug_paths = 0;
@@ -92,7 +97,84 @@ std::int64_t MaxFlowGraph::max_flow(int source, int sink) {
   c_phases.add(phases);
   c_paths.add(aug_paths);
   c_scanned.add(edges_scanned_);
+  flow_value_ += total;
   return total;
+}
+
+std::int64_t MaxFlowGraph::push_residual(int a, int b, std::int64_t amount) {
+  if (a == b || amount <= 0) return amount;
+  std::int64_t pushed = 0;
+  std::vector<int> via(head_.size());  // arriving edge id; -1 unseen, -2 root
+  while (pushed < amount) {
+    std::fill(via.begin(), via.end(), -1);
+    via[a] = -2;
+    std::queue<int> q;
+    q.push(a);
+    while (!q.empty() && via[b] < 0) {
+      int x = q.front();
+      q.pop();
+      for (int id : head_[x]) {
+        const Edge& e = edges_[id];
+        if (e.cap > 0 && via[e.to] == -1) {
+          via[e.to] = id;
+          q.push(e.to);
+        }
+      }
+    }
+    if (via[b] == -1) break;
+    std::int64_t aug = amount - pushed;
+    for (int x = b; x != a; x = edges_[via[x] ^ 1].to) {
+      aug = std::min(aug, edges_[via[x]].cap);
+    }
+    for (int x = b; x != a;) {
+      const int id = via[x];
+      edges_[id].cap -= aug;
+      edges_[id ^ 1].cap += aug;
+      x = edges_[id ^ 1].to;
+    }
+    pushed += aug;
+  }
+  return pushed;
+}
+
+std::int64_t MaxFlowGraph::set_capacity(int id, std::int64_t capacity) {
+  NAT_CHECK(id >= 0 && static_cast<std::size_t>(id) < edges_.size());
+  NAT_CHECK_MSG((id & 1) == 0, "set_capacity expects a forward edge id");
+  NAT_CHECK_MSG(capacity >= 0, "negative capacity " << capacity);
+  Edge& fwd = edges_[id];
+  Edge& rev = edges_[id ^ 1];
+  const std::int64_t flow = fwd.original - fwd.cap;
+  fwd.original = capacity;
+  if (flow <= capacity) {
+    fwd.cap = capacity - flow;
+    return 0;
+  }
+  // The decrease strands `excess` units. Pin the edge at its new
+  // capacity, then rebalance the tail's surplus and the head's deficit:
+  // first reroute tail→head through the residual graph (preserves the
+  // flow value), then cancel the remainder back to the endpoints —
+  // tail→source and sink→head residual paths carry it by flow
+  // decomposition (see docs/PERFORMANCE.md for the argument).
+  const std::int64_t excess = flow - capacity;
+  NAT_CHECK_MSG(last_source_ >= 0,
+                "set_capacity: stranding decrease before any max_flow");
+  fwd.cap = 0;
+  rev.cap = capacity;
+  const int tail = rev.to;
+  const int head = fwd.to;
+  const std::int64_t rerouted = push_residual(tail, head, excess);
+  const std::int64_t cancel = excess - rerouted;
+  if (cancel > 0) {
+    NAT_CHECK_MSG(push_residual(tail, last_source_, cancel) == cancel,
+                  "set_capacity: tail→source cancellation fell short");
+    NAT_CHECK_MSG(push_residual(last_sink_, head, cancel) == cancel,
+                  "set_capacity: sink→head cancellation fell short");
+    flow_value_ -= cancel;
+    static obs::Counter& c_cancelled =
+        obs::counter("flow.dinic.flow_cancelled");
+    c_cancelled.add(cancel);
+  }
+  return cancel;
 }
 
 std::int64_t MaxFlowGraph::flow_on(int id) const {
@@ -108,6 +190,14 @@ std::int64_t MaxFlowGraph::capacity_on(int id) const {
 
 void MaxFlowGraph::reset() {
   for (Edge& e : edges_) e.cap = e.original;
+  flow_value_ = 0;
+}
+
+void MaxFlowGraph::reset_flow_keep_topology() {
+  // Same restore as reset(): reverse edges have original == 0, so this
+  // zeroes every residual back-arc without touching the adjacency
+  // arrays or edge storage.
+  reset();
 }
 
 std::vector<bool> MaxFlowGraph::min_cut_source_side(int source) const {

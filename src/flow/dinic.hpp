@@ -5,6 +5,13 @@
 // open slots?" to a max-flow saturation test, and schedule extraction
 // reads per-edge flows back. Integer capacities only — every capacity
 // in this repository is a job volume or g * slot count.
+//
+// The graph supports incremental reuse (activetime/oracle.hpp): edge
+// capacities can be retuned in place with set_capacity(), and
+// max_flow() augments on top of whatever flow is already present, so a
+// sequence of related feasibility queries pays for one build and the
+// flow delta between queries instead of a fresh solve each time. See
+// docs/PERFORMANCE.md for the warm-start invariants.
 #pragma once
 
 #include <cstdint>
@@ -24,16 +31,38 @@ class MaxFlowGraph {
   /// (A residual reverse edge with capacity 0 is created internally.)
   int add_edge(int from, int to, std::int64_t capacity);
 
-  /// Computes the maximum s-t flow. May be called once per graph state;
-  /// call reset() to rerun with the same capacities.
+  /// Augments the current flow to an s-t maximum and returns the
+  /// *additional* flow pushed by this call. On a freshly built (or
+  /// reset) graph that is the max-flow value; called again after
+  /// capacity updates it is the warm-started delta. The current total
+  /// is tracked in flow_value().
   std::int64_t max_flow(int source, int sink);
 
   /// Flow pushed across edge `id` by the last max_flow() call.
   std::int64_t flow_on(int id) const;
   std::int64_t capacity_on(int id) const;
 
+  /// Total flow currently routed from the last max_flow() source to its
+  /// sink (sum of all augmentations minus cancellations).
+  std::int64_t flow_value() const { return flow_value_; }
+
+  /// Retunes the capacity of forward edge `id` in place. Increases
+  /// simply widen the residual arc (retained flow stays valid). A
+  /// decrease below the flow currently on the edge strands that excess:
+  /// it is cancelled by pushing it back along residual paths tail→source
+  /// and sink→head (both exist by flow decomposition), shrinking the
+  /// total flow. Returns the amount of flow cancelled (0 for increases
+  /// or slack decreases). Requires max_flow() to have been called
+  /// before any cancelling decrease, so the source/sink are known.
+  std::int64_t set_capacity(int id, std::int64_t capacity);
+
   /// Restores all edge capacities to their originals (undoes max_flow).
   void reset();
+
+  /// Zeroes the flow but keeps nodes, edges, and all edge storage —
+  /// the allocation-free between-solves reset used by the incremental
+  /// oracle. Equivalent to reset() plus forgetting the flow value.
+  void reset_flow_keep_topology();
 
   /// Nodes reachable from `source` in the residual graph after
   /// max_flow(): the source side of a minimum cut.
@@ -48,12 +77,17 @@ class MaxFlowGraph {
 
   bool bfs(int s, int t);
   std::int64_t dfs(int v, int t, std::int64_t pushed);
+  /// Pushes up to `amount` units along residual paths from `a` to `b`;
+  /// returns the amount actually pushed.
+  std::int64_t push_residual(int a, int b, std::int64_t amount);
 
   std::vector<Edge> edges_;                // edge 2k and 2k+1 are paired
   std::vector<std::vector<int>> head_;     // adjacency: edge ids per node
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
   std::int64_t edges_scanned_ = 0;  // per-max_flow work, flushed to obs
+  std::int64_t flow_value_ = 0;
+  int last_source_ = -1, last_sink_ = -1;  // endpoints of the last solve
 };
 
 /// Reference Edmonds–Karp implementation used by property tests to

@@ -39,7 +39,14 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+namespace {
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
+
 void ThreadPool::worker_loop() {
+  tl_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -64,14 +71,15 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
   NAT_CHECK(grain >= 1);
   if (begin >= end) return;
-  ThreadPool& pool = global_pool();
-  // Single worker (or tiny range): run inline, no queue round-trips.
-  if (pool.thread_count() == 1 || end - begin <= grain) {
+  // Single worker, tiny range, or nested call from inside a worker
+  // (submitting + wait_idle there would deadlock): run inline.
+  if (pool.thread_count() == 1 || end - begin <= grain ||
+      ThreadPool::in_worker()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -83,6 +91,12 @@ void parallel_for(std::size_t begin, std::size_t end,
     });
   }
   pool.wait_idle();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for(global_pool(), begin, end, body, grain);
 }
 
 }  // namespace nat::util

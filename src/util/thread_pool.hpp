@@ -33,6 +33,11 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
+  /// True when the calling thread is a pool worker (of any pool).
+  /// parallel_for uses this to run nested invocations inline instead
+  /// of deadlocking on wait_idle() from inside a task.
+  static bool in_worker();
+
  private:
   void worker_loop();
 
@@ -50,7 +55,14 @@ ThreadPool& global_pool();
 
 /// Runs body(i) for i in [begin, end) across the pool and blocks until
 /// all iterations complete. `grain` iterations are batched per task to
-/// amortize queue overhead. Safe to call from one thread at a time.
+/// amortize queue overhead. Safe to call from one thread at a time per
+/// pool; called from inside a pool worker (nested parallelism) it runs
+/// inline, so library code may use it without knowing its caller.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for on the process-wide global_pool().
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);

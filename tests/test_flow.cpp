@@ -122,5 +122,144 @@ TEST_P(RandomFlowGraphs, MatchesReferenceAndCutCertificate) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomFlowGraphs, ::testing::Range(0, 150));
 
+// --- incremental reuse: set_capacity + warm-started max_flow -------------
+
+TEST(DinicIncremental, IncreaseWidensResidual) {
+  MaxFlowGraph g(2);
+  const int e = g.add_edge(0, 1, 4);
+  EXPECT_EQ(g.max_flow(0, 1), 4);
+  EXPECT_EQ(g.set_capacity(e, 9), 0);
+  EXPECT_EQ(g.capacity_on(e), 9);
+  EXPECT_EQ(g.max_flow(0, 1), 5);  // warm delta, not the total
+  EXPECT_EQ(g.flow_value(), 9);
+}
+
+TEST(DinicIncremental, SlackDecreaseCancelsNothing) {
+  MaxFlowGraph g(3);
+  const int a = g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 4);
+  EXPECT_EQ(g.max_flow(0, 2), 4);
+  // Only 4 units cross edge `a`; capacity 6 still fits them.
+  EXPECT_EQ(g.set_capacity(a, 6), 0);
+  EXPECT_EQ(g.flow_value(), 4);
+  EXPECT_EQ(g.max_flow(0, 2), 0);
+}
+
+TEST(DinicIncremental, DecreaseReroutesThroughParallelEdge) {
+  // Two parallel middle edges: pinning one to zero reroutes its flow
+  // through the other, so the value is preserved and nothing cancels.
+  MaxFlowGraph g(4);
+  g.add_edge(0, 1, 4);
+  const int a = g.add_edge(1, 2, 4);
+  const int b = g.add_edge(1, 2, 4);
+  g.add_edge(2, 3, 4);
+  EXPECT_EQ(g.max_flow(0, 3), 4);
+  EXPECT_EQ(g.set_capacity(a, 0), 0);
+  EXPECT_EQ(g.flow_value(), 4);
+  EXPECT_EQ(g.flow_on(a), 0);
+  EXPECT_EQ(g.flow_on(b), 4);
+  EXPECT_EQ(g.max_flow(0, 3), 0);
+}
+
+TEST(DinicIncremental, DecreaseCancelsStrandedFlow) {
+  // Diamond with no cross edges: shrinking one branch below its flow
+  // strands the excess, which must be cancelled end to end.
+  MaxFlowGraph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(0, 2, 10);
+  const int e = g.add_edge(1, 3, 10);
+  g.add_edge(2, 3, 10);
+  EXPECT_EQ(g.max_flow(0, 3), 20);
+  EXPECT_EQ(g.set_capacity(e, 4), 6);
+  EXPECT_EQ(g.flow_value(), 14);
+  EXPECT_EQ(g.flow_on(e), 4);
+  EXPECT_EQ(g.max_flow(0, 3), 0);  // already maximal at the new caps
+  // Restoring the capacity recovers the lost flow as a warm delta.
+  EXPECT_EQ(g.set_capacity(e, 10), 0);
+  EXPECT_EQ(g.max_flow(0, 3), 6);
+  EXPECT_EQ(g.flow_value(), 20);
+}
+
+TEST(DinicIncremental, ResetFlowKeepsRetunedCapacities) {
+  MaxFlowGraph g(3);
+  const int a = g.add_edge(0, 1, 5);
+  const int b = g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.max_flow(0, 2), 3);
+  EXPECT_EQ(g.set_capacity(b, 1), 2);
+  g.reset_flow_keep_topology();
+  EXPECT_EQ(g.flow_value(), 0);
+  EXPECT_EQ(g.flow_on(a), 0);
+  EXPECT_EQ(g.flow_on(b), 0);
+  EXPECT_EQ(g.capacity_on(b), 1);  // retunes survive the flow reset
+  EXPECT_EQ(g.max_flow(0, 2), 1);
+}
+
+TEST(DinicIncremental, RejectsBadRetunes) {
+  MaxFlowGraph g(2);
+  const int e = g.add_edge(0, 1, 3);
+  EXPECT_THROW(g.set_capacity(e + 1, 3), util::CheckError);  // reverse id
+  EXPECT_THROW(g.set_capacity(e, -1), util::CheckError);
+  EXPECT_THROW(g.set_capacity(99, 1), util::CheckError);
+}
+
+// Property sweep: a warm graph under random capacity retunes always
+// agrees with a fresh Edmonds–Karp solve at the current capacities, and
+// the retained flow stays a valid flow after every retune.
+class RandomRetunes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRetunes, WarmRetunedFlowMatchesFreshSolve) {
+  Rng rng(900 + GetParam());
+  const int n = static_cast<int>(rng.uniform_int(3, 9));
+  const int s = 0;
+  const int t = n - 1;
+  MaxFlowGraph g(n);
+  std::vector<std::tuple<int, int, std::int64_t>> edge_list;
+  std::vector<int> ids;
+  const int edges = static_cast<int>(rng.uniform_int(4, 20));
+  for (int e = 0; e < edges; ++e) {
+    const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (u == v) continue;
+    const std::int64_t c = rng.uniform_int(0, 10);
+    edge_list.emplace_back(u, v, c);
+    ids.push_back(g.add_edge(u, v, c));
+  }
+  if (ids.empty()) {
+    edge_list.emplace_back(0, 1, 5);
+    ids.push_back(g.add_edge(0, 1, 5));
+  }
+  g.max_flow(s, t);
+
+  for (int step = 0; step < 30; ++step) {
+    const std::size_t k = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+    const std::int64_t cap = rng.uniform_int(0, 10);
+    std::get<2>(edge_list[k]) = cap;
+    const std::int64_t cancelled = g.set_capacity(ids[k], cap);
+    ASSERT_GE(cancelled, 0);
+    g.max_flow(s, t);
+    ASSERT_EQ(g.flow_value(), edmonds_karp_reference(n, edge_list, s, t))
+        << "seed " << GetParam() << " step " << step;
+
+    // The retained flow is a real flow: within bounds and conserved.
+    std::vector<std::int64_t> balance(n, 0);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto [u, v, c] = edge_list[i];
+      const std::int64_t fl = g.flow_on(ids[i]);
+      ASSERT_GE(fl, 0);
+      ASSERT_LE(fl, c);
+      balance[u] -= fl;
+      balance[v] += fl;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (v == s || v == t) continue;
+      ASSERT_EQ(balance[v], 0) << "conservation at node " << v;
+    }
+    ASSERT_EQ(balance[t], g.flow_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomRetunes, ::testing::Range(0, 60));
+
 }  // namespace
 }  // namespace nat::flow
