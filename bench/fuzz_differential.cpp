@@ -1,0 +1,103 @@
+// Differential fuzzer CLI for the 9/5 pipeline (see verify/fuzz.hpp).
+//
+//   fuzz_differential [--instances N] [--seed S] [--max-jobs M]
+//                     [--time-budget SECONDS] [--regressions DIR]
+//                     [--inject-budget-bug]
+//
+// Runs N random laminar instances through the double pipeline with the
+// exact-arithmetic verify layer at full strength and asserts
+// LP <= OPT <= ALG <= ceil((9/5) OPT). Violations are minimized by
+// delta-debugging and written to --regressions (default
+// corpus/regressions when the flag is given without a value elsewhere).
+// Exit status: 0 on a clean run, 1 when any violation survived, 2 on
+// bad usage.
+//
+// --inject-budget-bug enables the deliberate Algorithm 1 off-by-one
+// (rounding.hpp) to demonstrate the harness catches a real
+// approximation bug; such a run is *expected* to report violations and
+// therefore exits 0 iff at least one violation was found.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "verify/fuzz.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--instances N] [--seed S] [--max-jobs M]"
+               " [--time-budget SECONDS] [--regressions DIR]"
+               " [--inject-budget-bug]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nat::verify::fuzz::FuzzOptions options;
+  options.regression_dir = "corpus/regressions";
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto value = [&]() -> const char* {
+      return a + 1 < argc ? argv[++a] : nullptr;
+    };
+    try {
+      if (arg == "--instances") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        options.instances = std::stoi(v);
+      } else if (arg == "--seed") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        options.seed = std::stoull(v);
+      } else if (arg == "--max-jobs") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        options.max_jobs = std::stoi(v);
+      } else if (arg == "--time-budget") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        options.time_budget_seconds = std::stod(v);
+      } else if (arg == "--regressions") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        options.regression_dir = v;
+      } else if (arg == "--inject-budget-bug") {
+        options.inject_budget_fault = true;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      return usage(argv[0]);
+    }
+  }
+
+  const nat::verify::fuzz::FuzzReport report =
+      nat::verify::fuzz::run_fuzz(options);
+
+  std::cout << "fuzz_differential: " << report.instances_run
+            << " instances, " << report.violations.size()
+            << " violations (seed " << options.seed
+            << (options.inject_budget_fault ? ", budget bug injected" : "")
+            << ")\n";
+  for (const auto& v : report.violations) {
+    std::cout << "  [" << v.failure_class << "] iteration " << v.index
+              << ": minimized " << v.original_jobs << " -> "
+              << v.instance.num_jobs() << " jobs";
+    if (!v.repro_path.empty()) std::cout << " (" << v.repro_path << ")";
+    std::cout << "\n    " << v.detail << '\n';
+  }
+
+  if (options.inject_budget_fault) {
+    // Self-test mode: the harness must catch the injected bug.
+    if (report.violations.empty()) {
+      std::cout << "FAIL: injected budget bug was not detected\n";
+      return 1;
+    }
+    std::cout << "OK: injected budget bug detected and minimized\n";
+    return 0;
+  }
+  return report.violations.empty() ? 0 : 1;
+}

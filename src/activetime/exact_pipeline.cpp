@@ -9,6 +9,7 @@
 #include "lp/exact_simplex.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "verify/verify.hpp"
 
 namespace nat::at {
 
@@ -180,6 +181,11 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
     obs::Span span("solve_nested_exact/rounding");
     result.x_rounded = exact_round(forest, x, result.topmost);
   }
+  // Claim 1, floor/ceil membership, and the Lemma 3.3 per-root 9/5
+  // budget — certified with zero tolerance.
+  verify::require("exact_rounding",
+                  verify::check_rounding_exact(forest, x, result.x_rounded,
+                                               result.topmost));
 
   // Theorem 4.5: no repairs permitted in exact arithmetic.
   obs::Span span_extract("solve_nested_exact/extract");
@@ -191,14 +197,14 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
   validate_schedule(instance, result.schedule);
   result.active_slots = result.schedule.active_slots();
 
-  // Lemma 3.3, exactly: x~([m]) <= (9/5) x([m]).
-  Rational total;
-  for (const Rational& v : x) total += v;
+  // Final schedule in integer arithmetic: coverage, windows, per-slot
+  // load <= g, and the active count stays within the opened budget.
   std::int64_t rounded_total = 0;
   for (Time t : result.x_rounded) rounded_total += t;
-  NAT_CHECK_MSG(Rational(rounded_total) <=
-                    Rational::from_int64(9, 5) * total,
-                "Lemma 3.3 budget exceeded in exact arithmetic");
+  verify::require("exact_schedule",
+                  verify::check_schedule(instance, result.schedule,
+                                         result.active_slots,
+                                         rounded_total));
   return result;
 }
 

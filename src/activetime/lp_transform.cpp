@@ -48,7 +48,14 @@ void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
           static_cast<double>(forest.node(d).length()) - sol.x[d];
       if (spare <= kFracEps || sol.x[i] <= kFracEps) continue;
       const double theta = std::min(spare, sol.x[i]);
-      const double ratio = theta / sol.x[i];
+      // Guard the proportional split against a near-zero denominator:
+      // when the move drains i to within kFracEps, relocate every
+      // remaining share outright. A ratio formed against a sub-epsilon
+      // x(i) amplifies fp error, and the sub-tolerance snap below would
+      // then zero x(i) while a y residue stays stranded at i —
+      // violating y <= |c| * x(i) by up to kFracEps per class.
+      const bool drains = sol.x[i] - theta <= kFracEps;
+      const double ratio = drains ? 1.0 : theta / sol.x[i];
       ++moves;
       mass_moved += theta;
       // Move a proportional share of every assignment from i to d.

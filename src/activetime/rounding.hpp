@@ -32,4 +32,15 @@ RoundingResult round_solution(const LaminarForest& forest,
 std::int64_t eps_floor(double v);
 std::int64_t eps_ceil(double v);
 
+/// Test-only fault injection for the differential fuzzer
+/// (bench/fuzz_differential, tests/test_verify): when enabled, each
+/// Algorithm 1 round-up opens one slot more than the "+1" its 9/5
+/// budget condition reserved — an off-by-one between the budget
+/// accounting and the amount actually rounded, which breaches the
+/// Lemma 3.3 budget (and floor/ceil membership) on instances with
+/// tight fractional mass. The exact-arithmetic verify layer must catch
+/// it; never enable outside tests/fuzzing.
+void set_rounding_budget_fault(bool on);
+bool rounding_budget_fault();
+
 }  // namespace nat::at

@@ -11,6 +11,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "verify/verify.hpp"
 
 namespace nat::at {
 
@@ -100,6 +101,16 @@ NestedSolveResult solve_nested(const Instance& instance,
 
   FractionalSolution frac = unpack(lp, lps);
 
+  const verify::VerifyLevel vlevel =
+      verify::resolve_level(options.verify_level);
+  if (vlevel == verify::VerifyLevel::kFull) {
+    obs::Span span("solve_nested/verify_lp");
+    verify::require("lp",
+                    verify::check_lp_solution(forest, lp, frac,
+                                              result.lp_value,
+                                              options.verify_radius));
+  }
+
   if (options.naive_rounding) {
     result.x_rounded.resize(forest.num_nodes());
     for (int i = 0; i < forest.num_nodes(); ++i) {
@@ -108,15 +119,40 @@ NestedSolveResult solve_nested(const Instance& instance,
     }
     result.x_fractional = frac.x;
   } else {
+    std::vector<double> x_before;
+    if (vlevel == verify::VerifyLevel::kFull) x_before = frac.x;
     {
       obs::Span span("solve_nested/push_down");
       push_down_transform(forest, lp, frac);
     }
+    if (vlevel == verify::VerifyLevel::kFull) {
+      obs::Span span("solve_nested/verify_push_down");
+      verify::require("push_down",
+                      verify::check_push_down(forest, x_before, frac.x,
+                                              options.verify_radius));
+      // The transform must keep the solution LP-feasible (Lemma 3.1
+      // moves volume alongside the opened mass).
+      verify::require("lp_transformed",
+                      verify::check_lp_solution(forest, lp, frac,
+                                                result.lp_value,
+                                                options.verify_radius));
+    }
     result.x_fractional = frac.x;
     result.topmost = topmost_positive(forest, frac.x);
-    obs::Span span("solve_nested/rounding");
-    RoundingResult rounded = round_solution(forest, frac.x, result.topmost);
-    result.x_rounded = std::move(rounded.x_tilde);
+    {
+      obs::Span span("solve_nested/rounding");
+      RoundingResult rounded =
+          round_solution(forest, frac.x, result.topmost);
+      result.x_rounded = std::move(rounded.x_tilde);
+    }
+    if (vlevel == verify::VerifyLevel::kFull) {
+      obs::Span span("solve_nested/verify_rounding");
+      verify::require("rounding",
+                      verify::check_rounding(forest, frac.x,
+                                             result.x_rounded,
+                                             result.topmost,
+                                             options.verify_radius));
+    }
   }
 
   {
@@ -149,6 +185,15 @@ NestedSolveResult solve_nested(const Instance& instance,
   // schedule is feasible for the original instance too.
   validate_schedule(instance, result.schedule);
   result.active_slots = result.schedule.active_slots();
+  if (vlevel != verify::VerifyLevel::kOff) {
+    obs::Span span("solve_nested/verify_schedule");
+    std::int64_t open_budget = 0;
+    for (Time t : result.x_rounded) open_budget += t;
+    verify::require("schedule",
+                    verify::check_schedule(instance, result.schedule,
+                                           result.active_slots,
+                                           open_budget));
+  }
   return result;
 }
 

@@ -10,11 +10,18 @@
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/schedule.hpp"
 #include "activetime/tree.hpp"
+#include "verify/verify.hpp"
 
 namespace nat::at {
 
 struct NestedSolverOptions {
   StrongLpOptions lp;          // ceiling-constraint / aggregation flags
+  // Exact-arithmetic self-check level (see verify/verify.hpp).
+  // kDefault resolves via NAT_VERIFY, else full in Debug builds and off
+  // in Release — the Release hot path pays nothing.
+  verify::VerifyLevel verify_level = verify::VerifyLevel::kDefault;
+  // Declared double-path rounding radius for the validators.
+  double verify_radius = verify::kDefaultRadius;
   // Ablation: skip the Lemma 3.1 transform and Algorithm 1, rounding
   // every region up instead (valid but without the 9/5 guarantee).
   bool naive_rounding = false;

@@ -9,6 +9,13 @@
 
 namespace nat::io {
 
+namespace {
+// Upper bound on the job count a v1 file may declare. Generously above
+// every real workload, yet small enough that a hostile "jobs <huge>"
+// header cannot turn the parse loop into a resource sink.
+constexpr std::size_t kMaxSerializedJobs = 10'000'000;
+}  // namespace
+
 void write_instance(std::ostream& os, const at::Instance& instance) {
   os << "activetime v1\n";
   os << "g " << instance.g << '\n';
@@ -26,10 +33,22 @@ at::Instance read_instance(std::istream& is) {
                 "bad header: '" << magic << ' ' << version << "'");
   at::Instance instance;
   std::size_t n = 0;
-  is >> key >> instance.g;
+  is >> key;
   NAT_CHECK_MSG(key == "g", "expected 'g', got '" << key << "'");
-  is >> key >> n;
+  is >> instance.g;
+  NAT_CHECK_MSG(static_cast<bool>(is), "missing or non-numeric g value");
+  NAT_CHECK_MSG(instance.g >= 1, "g must be >= 1, got " << instance.g);
+  is >> key;
   NAT_CHECK_MSG(key == "jobs", "expected 'jobs', got '" << key << "'");
+  is >> n;
+  NAT_CHECK_MSG(static_cast<bool>(is), "missing or non-numeric job count");
+  // Cap the declared count before trusting it: a hostile header must
+  // not drive allocation or a near-endless parse loop. The loop below
+  // still stops at the first truncated job, so the cap only bounds the
+  // damage of a count that the stream could actually back.
+  NAT_CHECK_MSG(n <= kMaxSerializedJobs,
+                "job count " << n << " exceeds the format cap "
+                             << kMaxSerializedJobs);
   for (std::size_t j = 0; j < n; ++j) {
     at::Job job;
     is >> job.release >> job.deadline >> job.processing;

@@ -318,6 +318,33 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   return a;
 }
 
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();  // non-zero by the trim invariant
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::shifted_left(std::size_t k) const {
+  if (is_zero() || k == 0) return *this;
+  BigInt out;
+  out.negative_ = negative_;
+  const std::size_t limb_shift = k / 32;
+  const unsigned bit_shift = static_cast<unsigned>(k % 32);
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
 bool BigInt::fits_int64() const {
   if (limbs_.size() > 2) return false;
   if (limbs_.size() < 2) return true;

@@ -70,6 +70,11 @@ class BigInt {
 
   static BigInt gcd(BigInt a, BigInt b);  // non-negative result
 
+  /// Bits in the magnitude: floor(log2 |v|) + 1, and 0 for zero.
+  std::size_t bit_length() const;
+  /// this * 2^k (sign preserved).
+  BigInt shifted_left(std::size_t k) const;
+
   /// True iff the value fits in int64_t.
   bool fits_int64() const;
   /// Value as int64_t; NAT_CHECKs fits_int64().

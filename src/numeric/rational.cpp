@@ -84,7 +84,28 @@ BigInt Rational::ceil() const {
 }
 
 double Rational::to_double() const {
-  return num_.to_double() / den_.to_double();
+  if (num_.is_zero()) return 0.0;
+  // Scale |num|/den so the integer quotient carries 63-64 significant
+  // bits, divide in BigInt, and apply the power of two with ldexp. The
+  // naive num.to_double()/den.to_double() overflows its intermediates:
+  // a subnormal's denominator (~2^1074) converts to inf and the value
+  // collapses to 0. This path is exact for dyadic rationals (so
+  // from_double_exact round-trips bit-for-bit, subnormals included) and
+  // within ~1 ulp otherwise; out-of-range magnitudes saturate to
+  // +/-inf / +/-0 through ldexp.
+  const long nb = static_cast<long>(num_.bit_length());
+  const long db = static_cast<long>(den_.bit_length());
+  const long shift = 63 - (nb - db);
+  BigInt n = num_.abs();
+  BigInt d = den_;
+  if (shift > 0) {
+    n = n.shifted_left(static_cast<std::size_t>(shift));
+  } else if (shift < 0) {
+    d = d.shifted_left(static_cast<std::size_t>(-shift));
+  }
+  const BigInt q = n / d;  // in [2^62, 2^64)
+  const double r = std::ldexp(q.to_double(), static_cast<int>(-shift));
+  return num_.sign() < 0 ? -r : r;
 }
 
 std::string Rational::to_string() const {

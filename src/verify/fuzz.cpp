@@ -1,0 +1,292 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "activetime/exact_pipeline.hpp"
+#include "activetime/rounding.hpp"
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "instances/generators.hpp"
+#include "io/serialize.hpp"
+#include "obs/counters.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace nat::verify::fuzz {
+
+namespace {
+
+/// Restores the fault-injection flag even when a check throws.
+class FaultScope {
+ public:
+  explicit FaultScope(bool on) { at::set_rounding_budget_fault(on); }
+  ~FaultScope() { at::set_rounding_budget_fault(false); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+/// Stable failure key from a CheckError message. Verify-layer failures
+/// ("verify[stage] ...") map to "verify:<stage>"; other NAT_CHECKs map
+/// to "check:<file>:<line>" so delta-debugging cannot silently morph
+/// one failure into a different one.
+std::string classify(const std::string& what) {
+  if (const std::size_t v = what.find("verify["); v != std::string::npos) {
+    const std::size_t end = what.find(']', v);
+    if (end != std::string::npos) {
+      return "verify:" + what.substr(v + 7, end - v - 7);
+    }
+  }
+  const std::size_t at = what.find(" at ");
+  if (at != std::string::npos) {
+    std::size_t end = what.find(" — ", at);
+    if (end == std::string::npos) end = what.size();
+    return "check:" + what.substr(at + 4, end - at - 4);
+  }
+  return "check:?";
+}
+
+/// ceil((9/5) * opt) in integers.
+std::int64_t nine_fifths_ceil(std::int64_t opt) { return (9 * opt + 4) / 5; }
+
+/// Rotating generator mix. Families 1 and 4 (contended, tight slack)
+/// are the genuinely fractional regime where Algorithm 1's round-up
+/// machinery fires; the rest cover structure (depth, fan-out, units).
+at::Instance generate(int index, util::Rng& rng, int max_jobs) {
+  at::Instance inst;
+  switch (index % 5) {
+    case 0: {
+      at::gen::RandomLaminarParams p;
+      p.g = rng.uniform_int(1, 4);
+      p.max_depth = static_cast<int>(rng.uniform_int(1, 4));
+      p.max_children = static_cast<int>(rng.uniform_int(1, 3));
+      p.max_processing = rng.uniform_int(1, 4);
+      inst = at::gen::random_laminar(p, rng);
+      break;
+    }
+    case 1: {
+      at::gen::ContendedParams p;
+      p.g = rng.uniform_int(2, 5);
+      p.max_groups = static_cast<int>(rng.uniform_int(2, 5));
+      p.unit_slack = rng.uniform_int(0, 2);
+      p.max_long_jobs = static_cast<int>(rng.uniform_int(1, 2));
+      inst = at::gen::random_contended(p, rng);
+      break;
+    }
+    case 2: {
+      at::gen::RandomLaminarParams p;
+      p.g = rng.uniform_int(1, 3);
+      p.max_depth = static_cast<int>(rng.uniform_int(1, 3));
+      inst = at::gen::random_laminar_unit(p, rng);
+      break;
+    }
+    case 3: {
+      const std::int64_t g = rng.uniform_int(1, 4);
+      // Feasibility precondition: per_level <= 2g unit jobs per window.
+      const int per_level = static_cast<int>(
+          rng.uniform_int(1, std::min<std::int64_t>(3, 2 * g)));
+      inst = at::gen::staircase(
+          g, static_cast<int>(rng.uniform_int(2, 5)), per_level);
+      break;
+    }
+    default: {
+      at::gen::ContendedParams p;
+      p.g = rng.uniform_int(3, 6);
+      p.min_groups = 3;
+      p.max_groups = 6;
+      p.unit_slack = rng.uniform_int(1, 2);
+      inst = at::gen::random_contended(p, rng);
+      break;
+    }
+  }
+  // Hard cap on size: dropping trailing jobs preserves laminarity and
+  // feasibility (fewer jobs only relax the instance).
+  if (inst.num_jobs() > max_jobs) {
+    inst.jobs.resize(static_cast<std::size_t>(max_jobs));
+  }
+  return inst;
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+  }
+  return out;
+}
+
+std::string write_repro(const std::string& dir, const Violation& v) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream name;
+  name << "repro_" << sanitize(v.failure_class) << "_seed" << v.index
+       << ".txt";
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / name.str();
+  std::ofstream os(path);
+  NAT_CHECK_MSG(os.good(), "cannot write repro file " << path.string());
+  io::write_instance(os, v.instance);
+  // Trailing metadata: read_instance stops after the declared job
+  // lines, so the repro file stays loadable as-is.
+  os << "# failure_class " << v.failure_class << '\n';
+  os << "# minimized_from_jobs " << v.original_jobs << '\n';
+  os << "# detail " << v.detail << '\n';
+  return path.string();
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> check_instance(
+    const at::Instance& instance, const FuzzOptions& options) {
+  if (instance.jobs.empty()) return {};
+  try {
+    FaultScope fault(options.inject_budget_fault);
+
+    // Full exact-arithmetic verification regardless of build type: the
+    // fuzzer is the differential harness, so it always pays for rigor.
+    at::NestedSolverOptions solver_options;
+    solver_options.verify_level = VerifyLevel::kFull;
+    const at::NestedSolveResult result =
+        at::solve_nested(instance, solver_options);
+
+    // OPT oracle (branch and bound). A blown budget only skips the OPT
+    // legs; LP <= ALG still holds unconditionally.
+    at::baselines::ExactOptions exact_options;
+    exact_options.node_budget = options.exact_node_budget;
+    const auto exact =
+        at::baselines::exact_opt_laminar(instance, exact_options);
+
+    const double lp = result.lp_value;
+    const std::int64_t alg = result.active_slots;
+    if (lp > static_cast<double>(alg) + 1e-6) {
+      std::ostringstream os;
+      os << "LP value " << lp << " exceeds ALG " << alg;
+      return {"sandwich:lp_above_alg", os.str()};
+    }
+    if (exact.has_value()) {
+      const std::int64_t opt = exact->optimum;
+      if (lp > static_cast<double>(opt) + 1e-6) {
+        std::ostringstream os;
+        os << "LP value " << lp << " exceeds OPT " << opt
+           << " (the LP must lower-bound the optimum)";
+        return {"sandwich:lp_above_opt", os.str()};
+      }
+      if (alg < opt) {
+        std::ostringstream os;
+        os << "ALG " << alg << " beats OPT " << opt
+           << " (either schedule is invalid or the oracle is wrong)";
+        return {"sandwich:alg_below_opt", os.str()};
+      }
+      if (alg > nine_fifths_ceil(opt)) {
+        std::ostringstream os;
+        os << "ALG " << alg << " exceeds ceil((9/5) OPT) = "
+           << nine_fifths_ceil(opt) << " (OPT " << opt << ", repairs "
+           << result.repairs << ")";
+        return {"sandwich:budget", os.str()};
+      }
+
+      // Differential leg: the all-Rational pipeline must obey the same
+      // sandwich on instances small enough to afford exact simplex.
+      if (instance.num_jobs() <= options.exact_pipeline_max_jobs) {
+        const at::ExactPipelineResult er =
+            at::solve_nested_exact(instance);
+        if (er.active_slots < opt ||
+            er.active_slots > nine_fifths_ceil(opt)) {
+          std::ostringstream os;
+          os << "exact pipeline ALG " << er.active_slots
+             << " outside [OPT, ceil(9/5 OPT)] = [" << opt << ", "
+             << nine_fifths_ceil(opt) << "]";
+          return {"sandwich:exact_pipeline", os.str()};
+        }
+      }
+    }
+  } catch (const util::CheckError& e) {
+    return {classify(e.what()), e.what()};
+  }
+  return {};
+}
+
+at::Instance minimize_violation(const at::Instance& instance,
+                                const std::string& failure_class,
+                                const FuzzOptions& options) {
+  at::Instance current = instance;
+  const auto fails_same = [&](const at::Instance& candidate) {
+    if (candidate.jobs.empty()) return false;
+    return check_instance(candidate, options).first == failure_class;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Drop one job at a time (back to front, so indices stay valid).
+    for (int j = current.num_jobs() - 1; j >= 0; --j) {
+      at::Instance candidate = current;
+      candidate.jobs.erase(candidate.jobs.begin() + j);
+      if (fails_same(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+      }
+    }
+    // Shrink the parallelism.
+    while (current.g > 1) {
+      at::Instance candidate = current;
+      --candidate.g;
+      if (!fails_same(candidate)) break;
+      current = std::move(candidate);
+      improved = true;
+    }
+    // Shrink processing times.
+    for (std::size_t j = 0; j < current.jobs.size(); ++j) {
+      while (current.jobs[j].processing > 1) {
+        at::Instance candidate = current;
+        --candidate.jobs[j].processing;
+        if (!fails_same(candidate)) break;
+        current = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  util::Rng root(options.seed);
+  const auto start = std::chrono::steady_clock::now();
+  static obs::Counter& c_instances = obs::counter("at.fuzz.instances");
+  static obs::Counter& c_violations = obs::counter("at.fuzz.violations");
+
+  for (int i = 0; i < options.instances; ++i) {
+    if (options.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > options.time_budget_seconds) break;
+    }
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const at::Instance instance = generate(i, rng, options.max_jobs);
+    ++report.instances_run;
+    c_instances.add(1);
+
+    auto [failure_class, detail] = check_instance(instance, options);
+    if (failure_class.empty()) continue;
+    c_violations.add(1);
+
+    Violation v;
+    v.index = i;
+    v.failure_class = std::move(failure_class);
+    v.detail = std::move(detail);
+    v.original_jobs = instance.num_jobs();
+    v.instance = minimize_violation(instance, v.failure_class, options);
+    if (!options.regression_dir.empty()) {
+      v.repro_path = write_repro(options.regression_dir, v);
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+}  // namespace nat::verify::fuzz

@@ -1,0 +1,79 @@
+// Differential fuzz harness for the 9/5 pipeline.
+//
+// Generates random laminar instances (rotating over the generator
+// families, deterministic per seed), runs the double pipeline with the
+// full exact-arithmetic verify layer enabled, and asserts the sandwich
+//
+//   LP <= OPT <= ALG <= ceil((9/5) * OPT)
+//
+// against the branch-and-bound OPT oracle; small instances are also
+// cross-checked against the all-Rational exact pipeline. Every
+// violation is classified by a stable failure key, greedily
+// delta-debugged down to a minimal instance that still fails the same
+// way, and (optionally) written to corpus/regressions/ as a
+// self-contained `activetime v1` repro file.
+//
+// Used by bench/fuzz_differential (CLI) and tests/test_verify (smoke +
+// fault-injection coverage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "activetime/instance.hpp"
+
+namespace nat::verify::fuzz {
+
+struct FuzzOptions {
+  int instances = 500;
+  std::uint64_t seed = 1;
+  int max_jobs = 40;
+  // Stop early after this many seconds (0 = no time limit). The run
+  // stays deterministic in what it *checks*; the limit only truncates.
+  double time_budget_seconds = 0.0;
+  // Directory for minimized repro files; empty = do not write.
+  std::string regression_dir;
+  // Enables the Algorithm 1 off-by-one fault (rounding.hpp) for the
+  // whole run — the self-test that the verify layer catches a real
+  // approximation-budget bug. Never set outside tests.
+  bool inject_budget_fault = false;
+  // Search budget for the branch-and-bound OPT oracle; instances whose
+  // oracle run exceeds it skip the OPT legs of the sandwich.
+  std::int64_t exact_node_budget = 4'000'000;
+  // Instances up to this many jobs are also cross-checked against the
+  // all-Rational exact pipeline.
+  int exact_pipeline_max_jobs = 10;
+};
+
+struct Violation {
+  int index = -1;             // fuzz iteration that produced it
+  std::string failure_class;  // stable key, e.g. "verify:rounding"
+  std::string detail;         // full diagnostic of the original failure
+  at::Instance instance;      // minimized repro
+  int original_jobs = 0;      // size before minimization
+  std::string repro_path;     // written file ("" when not persisted)
+};
+
+struct FuzzReport {
+  int instances_run = 0;
+  std::vector<Violation> violations;
+};
+
+/// Runs the pipeline + sandwich on one instance. Returns
+/// {failure_class, detail}; both empty when the instance certifies.
+std::pair<std::string, std::string> check_instance(
+    const at::Instance& instance, const FuzzOptions& options);
+
+/// Greedy delta-debugging: drops jobs, shrinks g and processing times —
+/// keeping only changes that preserve `failure_class` — until no single
+/// reduction applies.
+at::Instance minimize_violation(const at::Instance& instance,
+                                const std::string& failure_class,
+                                const FuzzOptions& options);
+
+/// The full loop: generate, check, minimize, persist.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace nat::verify::fuzz

@@ -1,0 +1,495 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "util/check.hpp"
+
+namespace nat::verify {
+
+namespace {
+
+using at::LaminarForest;
+using num::Rational;
+
+Rational rat(double v) { return Rational::from_double_exact(v); }
+
+/// Des(i), inclusive — recomputed from the raw child lists so the
+/// validator does not depend on the traversal code it is checking.
+std::vector<int> subtree_of(const LaminarForest& forest, int root) {
+  std::vector<int> out;
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    out.push_back(i);
+    for (int c : forest.node(i).children) stack.push_back(c);
+  }
+  return out;
+}
+
+/// anc ∈ Anc(node), inclusive — by parent walk.
+bool in_ancestors(const LaminarForest& forest, int anc, int node) {
+  for (int a = node; a >= 0; a = forest.node(a).parent) {
+    if (a == anc) return true;
+  }
+  return false;
+}
+
+/// Nodes ordered deepest-first, so children precede parents and
+/// subtree sums accumulate in one pass.
+std::vector<int> deepest_first(const LaminarForest& forest) {
+  const int m = forest.num_nodes();
+  std::vector<int> depth(m, 0), order(m);
+  for (int i = 0; i < m; ++i) {
+    int d = 0;
+    for (int a = forest.node(i).parent; a >= 0; a = forest.node(a).parent) {
+      ++d;
+    }
+    depth[i] = d;
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return depth[a] > depth[b]; });
+  return order;
+}
+
+/// Per-subtree sums: sum[i] = value[i] + sum over children subtrees.
+std::vector<Rational> subtree_sums(const LaminarForest& forest,
+                                   const std::vector<Rational>& value) {
+  std::vector<Rational> sum(value);
+  for (int i : deepest_first(forest)) {
+    for (int c : forest.node(i).children) sum[i] += sum[c];
+  }
+  return sum;
+}
+
+/// Slack for a comparison accumulating `terms` radius-accurate values
+/// of magnitude scale at most `scale`.
+Rational slack(const Rational& radius, std::int64_t terms,
+               std::int64_t scale = 1) {
+  return radius * Rational(terms + 2) * Rational(std::max<std::int64_t>(
+                                            1, scale));
+}
+
+std::string describe(const char* what, int node, const Rational& lhs,
+                     const Rational& rhs) {
+  std::ostringstream os;
+  os << what << " at node " << node << ": " << lhs.to_string()
+     << " vs bound " << rhs.to_string();
+  return os.str();
+}
+
+}  // namespace
+
+VerifyLevel resolve_level(VerifyLevel requested) {
+  if (requested != VerifyLevel::kDefault) return requested;
+  if (const char* env = std::getenv("NAT_VERIFY")) {
+    const std::string v(env);
+    if (v == "off") return VerifyLevel::kOff;
+    if (v == "light") return VerifyLevel::kLight;
+    if (v == "full") return VerifyLevel::kFull;
+    NAT_CHECK_MSG(false, "NAT_VERIFY must be off|light|full, got '" << v
+                                                                   << "'");
+  }
+#ifndef NDEBUG
+  return VerifyLevel::kFull;
+#else
+  return VerifyLevel::kOff;
+#endif
+}
+
+const char* to_string(VerifyLevel level) {
+  switch (level) {
+    case VerifyLevel::kOff:
+      return "off";
+    case VerifyLevel::kLight:
+      return "light";
+    case VerifyLevel::kFull:
+      return "full";
+    case VerifyLevel::kDefault:
+      return "default";
+  }
+  return "?";
+}
+
+std::string check_lp_solution(const at::LaminarForest& forest,
+                              const at::StrongLp& lp,
+                              const at::FractionalSolution& sol,
+                              double lp_value, double radius) {
+  const int m = forest.num_nodes();
+  if (static_cast<int>(sol.x.size()) != m) return "x size mismatch";
+  if (sol.y.size() != lp.y_vars.size()) return "y class-count mismatch";
+  const Rational r = rat(radius);
+  const std::int64_t g = forest.g();
+
+  std::vector<Rational> xe(m);
+  for (int i = 0; i < m; ++i) xe[i] = rat(sol.x[i]);
+
+  // Bounds (4): 0 <= x(i) <= L(i), within one radius.
+  for (int i = 0; i < m; ++i) {
+    if (xe[i] < -slack(r, 1)) return describe("(4) x below 0", i, xe[i], -r);
+    const Rational cap(forest.node(i).length());
+    if (xe[i] > cap + slack(r, 1)) {
+      return describe("(4) x above L", i, xe[i], cap);
+    }
+  }
+
+  // Coverage (2), capacity (3), per-job cap (5), containment (6).
+  std::vector<Rational> node_load(m);
+  std::vector<std::int64_t> node_terms(m, 0);
+  for (std::size_t c = 0; c < lp.classes.size(); ++c) {
+    const at::JobClass& cls = lp.classes[c];
+    if (sol.y[c].size() != lp.y_vars[c].size()) {
+      return "y slot-count mismatch in class " + std::to_string(c);
+    }
+    Rational covered;
+    for (std::size_t k = 0; k < lp.y_vars[c].size(); ++k) {
+      const int i = lp.y_vars[c][k].first;
+      if (i < 0 || i >= m) return "y slot node out of range";
+      // (6): assignment slots only exist inside Des(k(class)).
+      if (!in_ancestors(forest, cls.node, i)) {
+        std::ostringstream os;
+        os << "(6) class " << c << " has a slot at node " << i
+           << " outside Des(" << cls.node << ")";
+        return os.str();
+      }
+      const Rational y = rat(sol.y[c][k]);
+      if (y < -slack(r, 1)) return describe("y below 0", i, y, -r);
+      // (5) aggregated: Y(i,c) <= |c| * x(i).
+      const Rational cap = Rational(cls.count()) * xe[i];
+      if (y > cap + slack(r, 2, cls.count())) {
+        return describe("(5) per-class cap breached", i, y, cap);
+      }
+      covered += y;
+      node_load[i] += y;
+      ++node_terms[i];
+    }
+    // (2): the class volume is covered.
+    const Rational volume =
+        Rational(cls.count()) * Rational(cls.processing);
+    const std::int64_t terms =
+        static_cast<std::int64_t>(lp.y_vars[c].size());
+    if (covered < volume - slack(r, terms)) {
+      std::ostringstream os;
+      os << "(2) class " << c << " undercovered: " << covered.to_string()
+         << " of " << volume.to_string();
+      return os.str();
+    }
+  }
+  // (3): per-node load at most g * x(i).
+  for (int i = 0; i < m; ++i) {
+    const Rational cap = Rational(g) * xe[i];
+    if (node_load[i] > cap + slack(r, node_terms[i] + 1, g)) {
+      return describe("(3) node load above g*x", i, node_load[i], cap);
+    }
+  }
+
+  // Ceiling constraints (7)/(8) from the OPT_i tests.
+  const std::vector<Rational> sums = subtree_sums(forest, xe);
+  auto check_ceiling = [&](int i, std::int64_t lb) -> std::string {
+    const std::int64_t des =
+        static_cast<std::int64_t>(subtree_of(forest, i).size());
+    if (sums[i] < Rational(lb) - slack(r, des)) {
+      std::ostringstream os;
+      os << "(7)/(8) ceiling x(Des(" << i << ")) >= " << lb
+         << " violated: " << sums[i].to_string();
+      return os.str();
+    }
+    return {};
+  };
+  for (int i : lp.nodes_opt_ge_2) {
+    if (std::string e = check_ceiling(i, 2); !e.empty()) return e;
+  }
+  for (int i : lp.nodes_opt_ge_3) {
+    if (std::string e = check_ceiling(i, 3); !e.empty()) return e;
+  }
+
+  // Reported objective == sum x(i), within radius per term.
+  Rational total;
+  for (int i = 0; i < m; ++i) total += xe[i];
+  const Rational reported = rat(lp_value);
+  const Rational diff =
+      total > reported ? total - reported : reported - total;
+  if (diff > slack(r, m + 1)) {
+    std::ostringstream os;
+    os << "objective mismatch: sum x = " << total.to_string()
+       << ", reported " << reported.to_string();
+    return os.str();
+  }
+  return {};
+}
+
+std::string check_push_down(const at::LaminarForest& forest,
+                            const std::vector<double>& x_before,
+                            const std::vector<double>& x_after,
+                            double radius) {
+  const int m = forest.num_nodes();
+  if (static_cast<int>(x_before.size()) != m ||
+      static_cast<int>(x_after.size()) != m) {
+    return "x size mismatch";
+  }
+  const Rational r = rat(radius);
+
+  std::vector<Rational> before(m), after(m);
+  for (int i = 0; i < m; ++i) {
+    before[i] = rat(x_before[i]);
+    after[i] = rat(x_after[i]);
+    if (after[i] < -slack(r, 1)) {
+      return describe("transform made x negative", i, after[i], -r);
+    }
+    const Rational cap(forest.node(i).length());
+    if (after[i] > cap + slack(r, 1)) {
+      return describe("transform pushed x above L", i, after[i], cap);
+    }
+  }
+
+  const std::vector<Rational> sum_before = subtree_sums(forest, before);
+  const std::vector<Rational> sum_after = subtree_sums(forest, after);
+  std::vector<std::int64_t> des_count(m, 1);
+  for (int i : deepest_first(forest)) {
+    for (int c : forest.node(i).children) des_count[i] += des_count[c];
+  }
+  for (int i = 0; i < m; ++i) {
+    // Mass only ever moves downward: no subtree loses open mass (the
+    // sub-tolerance snap may shed up to one radius per node).
+    if (sum_after[i] < sum_before[i] - slack(r, des_count[i])) {
+      return describe("subtree mass lost", i, sum_after[i], sum_before[i]);
+    }
+    // Per-root conservation: nothing enters a root from above.
+    if (forest.node(i).parent < 0 &&
+        sum_after[i] > sum_before[i] + slack(r, des_count[i])) {
+      return describe("root mass created", i, sum_after[i], sum_before[i]);
+    }
+  }
+
+  // Lemma 3.1 fixed point: strictly positive nodes have fully-open
+  // strict descendants.
+  for (int i = 0; i < m; ++i) {
+    if (after[i] <= slack(r, 1)) continue;
+    for (int d : subtree_of(forest, i)) {
+      if (d == i) continue;
+      const Rational full(forest.node(d).length());
+      if (after[d] < full - slack(r, 2)) {
+        std::ostringstream os;
+        os << "fixed point broken: node " << i << " positive ("
+           << after[i].to_string() << ") but descendant " << d
+           << " not full (" << after[d].to_string() << " of "
+           << full.to_string() << ")";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Shared core of check_rounding / check_rounding_exact. `radius` is
+/// zero for the exact pipeline.
+std::string check_rounding_impl(const at::LaminarForest& forest,
+                                const std::vector<Rational>& xe,
+                                const std::vector<at::Time>& x_tilde,
+                                const std::vector<int>& topmost,
+                                const Rational& r) {
+  const int m = forest.num_nodes();
+  if (static_cast<int>(xe.size()) != m ||
+      static_cast<int>(x_tilde.size()) != m) {
+    return "size mismatch";
+  }
+  std::vector<bool> in_topmost(m, false);
+  for (int i : topmost) {
+    if (i < 0 || i >= m) return "topmost index out of range";
+    in_topmost[i] = true;
+  }
+
+  // Lemma 3.3 budget first — it is the theorem the stage exists to
+  // enforce, so a breach reports as such even when per-node bounds are
+  // also broken. Checked per root (= per tree; the rounding never moves
+  // mass across trees, so the lemma applies to each independently):
+  // x~(Des(root)) <= (9/5) x(Des(root)).
+  {
+    const std::vector<Rational> frac_sums = subtree_sums(forest, xe);
+    std::vector<Rational> tilde(m);
+    for (int i = 0; i < m; ++i) tilde[i] = Rational(x_tilde[i]);
+    const std::vector<Rational> tilde_sums = subtree_sums(forest, tilde);
+    std::vector<std::int64_t> des_count(m, 1);
+    for (int i : deepest_first(forest)) {
+      for (int c : forest.node(i).children) des_count[i] += des_count[c];
+    }
+    const Rational nine_fifths = Rational::from_int64(9, 5);
+    for (int i = 0; i < m; ++i) {
+      if (forest.node(i).parent >= 0) continue;
+      const Rational budget = nine_fifths * frac_sums[i];
+      if (tilde_sums[i] > budget + slack(r, des_count[i] + 1, 2)) {
+        std::ostringstream os;
+        os << "(Lemma 3.3) 9/5 budget exceeded at root " << i
+           << ": x~ = " << tilde_sums[i].to_string() << " > (9/5) x = "
+           << budget.to_string();
+        return os.str();
+      }
+    }
+  }
+
+  // Claim 1 on I: antichain, positive, zero strict ancestors, full
+  // strict descendants.
+  for (int t : topmost) {
+    if (xe[t] <= slack(r, 1)) {
+      return describe("(Claim 1) topmost not positive", t, xe[t],
+                      Rational(0));
+    }
+    for (int a = forest.node(t).parent; a >= 0; a = forest.node(a).parent) {
+      if (in_topmost[a]) {
+        std::ostringstream os;
+        os << "(Claim 1) topmost " << a << " is an ancestor of topmost "
+           << t;
+        return os.str();
+      }
+      if (xe[a] > slack(r, 1)) {
+        return describe("(Claim 1) ancestor of topmost positive", a, xe[a],
+                        Rational(0));
+      }
+    }
+    for (int d : subtree_of(forest, t)) {
+      if (d == t) continue;
+      const Rational full(forest.node(d).length());
+      if (xe[d] < full - slack(r, 2)) {
+        return describe("(Claim 1) descendant of topmost not full", d,
+                        xe[d], full);
+      }
+    }
+  }
+
+  // Per-node membership: floor/ceil on I, the value itself elsewhere.
+  for (int i = 0; i < m; ++i) {
+    if (x_tilde[i] < 0 || x_tilde[i] > forest.node(i).length()) {
+      return describe("x~ out of [0, L]", i, Rational(x_tilde[i]),
+                      Rational(forest.node(i).length()));
+    }
+    const Rational v(x_tilde[i]);
+    const Rational lo = xe[i] - slack(r, 1);
+    const Rational hi = xe[i] + slack(r, 1);
+    if (!in_topmost[i]) {
+      // Must be (radius-)integral and preserved exactly.
+      if (v < lo || v > hi) {
+        return describe("node outside I changed by rounding", i, v, xe[i]);
+      }
+      continue;
+    }
+    // Floor or ceiling of a value within one radius of xe. When xe is
+    // (radius-)integral the two coincide, so only that integer is
+    // admissible — a +1 overshoot on an integral node must not pass as
+    // "the ceiling".
+    const Rational fl(xe[i].floor(), num::BigInt(1));
+    const Rational frac_part = xe[i] - fl;  // in [0, 1)
+    Rational lo_allowed = fl;
+    Rational hi_allowed = fl + Rational(1);
+    if (frac_part <= slack(r, 1)) {
+      hi_allowed = fl;  // xe ~ floor: ceiling is the same integer
+    } else if (Rational(1) - frac_part <= slack(r, 1)) {
+      lo_allowed = fl + Rational(1);  // xe ~ floor+1: floor snaps up
+    }
+    if (v < lo_allowed || v > hi_allowed) {
+      return describe("x~ not the floor or ceiling of x", i, v, xe[i]);
+    }
+  }
+
+  return {};
+}
+
+}  // namespace
+
+std::string check_rounding(const at::LaminarForest& forest,
+                           const std::vector<double>& x,
+                           const std::vector<at::Time>& x_tilde,
+                           const std::vector<int>& topmost, double radius) {
+  std::vector<Rational> xe(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xe[i] = rat(x[i]);
+  return check_rounding_impl(forest, xe, x_tilde, topmost, rat(radius));
+}
+
+std::string check_rounding_exact(const at::LaminarForest& forest,
+                                 const std::vector<num::Rational>& x,
+                                 const std::vector<at::Time>& x_tilde,
+                                 const std::vector<int>& topmost) {
+  return check_rounding_impl(forest, x, x_tilde, topmost, Rational(0));
+}
+
+std::string check_schedule(const at::Instance& instance,
+                           const at::Schedule& schedule,
+                           std::int64_t claimed_active_slots,
+                           std::int64_t open_budget) {
+  const std::size_t n = instance.jobs.size();
+  if (schedule.assignment.size() != n) return "assignment size mismatch";
+  std::vector<at::Time> active;
+  for (std::size_t j = 0; j < n; ++j) {
+    const at::Job& job = instance.jobs[j];
+    const std::vector<at::Time>& slots = schedule.assignment[j];
+    if (static_cast<std::int64_t>(slots.size()) != job.processing) {
+      std::ostringstream os;
+      os << "job " << j << " receives " << slots.size() << " slots, needs "
+         << job.processing;
+      return os.str();
+    }
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (k > 0 && slots[k] <= slots[k - 1]) {
+        std::ostringstream os;
+        os << "job " << j << " slots not strictly increasing at index "
+           << k;
+        return os.str();
+      }
+      if (slots[k] < job.release || slots[k] >= job.deadline) {
+        std::ostringstream os;
+        os << "job " << j << " runs at t=" << slots[k]
+           << " outside its window [" << job.release << ", "
+           << job.deadline << ")";
+        return os.str();
+      }
+      active.push_back(slots[k]);
+    }
+  }
+  std::sort(active.begin(), active.end());
+  // Per-slot load: at most g jobs share one slot time.
+  std::int64_t load = 0;
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    load = (k > 0 && active[k] == active[k - 1]) ? load + 1 : 1;
+    if (load > instance.g) {
+      std::ostringstream os;
+      os << "slot t=" << active[k] << " carries more than g="
+         << instance.g << " jobs";
+      return os.str();
+    }
+  }
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  const std::int64_t distinct = static_cast<std::int64_t>(active.size());
+  if (distinct != claimed_active_slots) {
+    std::ostringstream os;
+    os << "claimed " << claimed_active_slots << " active slots, schedule "
+       << "has " << distinct;
+    return os.str();
+  }
+  if (open_budget >= 0 && distinct > open_budget) {
+    std::ostringstream os;
+    os << "active slots " << distinct << " exceed the opened budget "
+       << open_budget;
+    return os.str();
+  }
+  return {};
+}
+
+void require(const char* stage, const std::string& report) {
+  static obs::Counter& c_checks = obs::counter("at.verify.checks");
+  c_checks.add(1);
+  obs::counter(std::string("at.verify.stage.") + stage).add(1);
+  if (!report.empty()) {
+    static obs::Counter& c_failures = obs::counter("at.verify.failures");
+    c_failures.add(1);
+  }
+  NAT_CHECK_MSG(report.empty(), "verify[" << stage << "] " << report);
+}
+
+}  // namespace nat::verify

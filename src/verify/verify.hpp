@@ -1,0 +1,110 @@
+// Exact-arithmetic self-check layer for the 9/5 pipeline.
+//
+// The paper's guarantee chain — LP (1) constraints (2)-(8), the
+// Lemma 3.1 push-down, Algorithm 1's (9/5)-budget, Lemma 4.1
+// feasibility — is proved over exact rationals, but the production
+// pipeline executes it in double with kFracEps snapping. This layer
+// re-certifies every pipeline artifact in nat::num::Rational arithmetic
+// within a *declared rounding radius* of the double values, so a drift
+// bug upstream fails loudly instead of shipping a silently wrong
+// schedule.
+//
+// Design constraint: the validators are an independent re-derivation.
+// They recompute subtrees, depths and ancestor relations from the raw
+// parent/child fields and re-state the LP rows from the StrongLp
+// structure rather than calling back into the code they check — which
+// also keeps this library *below* nat_activetime in the link graph, so
+// solver.cpp can invoke it without a dependency cycle.
+//
+// Every validator returns "" when the artifact certifies and a
+// diagnostic string otherwise; require() is the throwing wrapper the
+// pipelines use, and it maintains the at.verify.* counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/lp_relaxation.hpp"
+#include "activetime/schedule.hpp"
+#include "activetime/tree.hpp"
+#include "numeric/rational.hpp"
+
+namespace nat::verify {
+
+/// How much of the self-check layer runs inside a solve.
+///  kOff    — nothing (the Release hot path).
+///  kLight  — integer/structural checks only: final schedule coverage,
+///            per-slot load, claimed active-slot count. Cheap.
+///  kFull   — everything, in exact rationals: LP re-certification,
+///            push-down mass/fixed-point invariants, Algorithm 1
+///            budget. The Debug/CI setting.
+///  kDefault — resolve from the NAT_VERIFY environment variable
+///            ("off" | "light" | "full"); else kFull in Debug builds
+///            (!NDEBUG) and kOff in Release builds.
+enum class VerifyLevel { kOff = 0, kLight = 1, kFull = 2, kDefault = 3 };
+
+/// Resolves kDefault as documented above; other values pass through.
+VerifyLevel resolve_level(VerifyLevel requested);
+const char* to_string(VerifyLevel level);
+
+/// Declared rounding radius: how far a double-path artifact may sit
+/// from the exact value it stands for. kFracEps (1e-6) is the snapping
+/// tolerance the double pipeline itself commits to (eps_floor/eps_ceil,
+/// push-down residue snaps), so per-value drift up to one radius is
+/// legitimate; validators scale it by the number of accumulated terms.
+inline constexpr double kDefaultRadius = 1e-6;
+
+/// LP (1): bounds (4), coverage (2), capacity (3), per-job cap (5),
+/// window containment (6), ceiling rows (7)/(8) — each re-stated from
+/// the StrongLp structure and evaluated in Rational within the radius.
+/// Also certifies that `lp_value` equals sum x(i) within radius.
+std::string check_lp_solution(const at::LaminarForest& forest,
+                              const at::StrongLp& lp,
+                              const at::FractionalSolution& sol,
+                              double lp_value,
+                              double radius = kDefaultRadius);
+
+/// Lemma 3.1 push-down: per-root mass conservation, monotone
+/// non-decreasing subtree mass at every node, bounds, and the fixed
+/// point — every strictly positive node has fully-open strict
+/// descendants (within radius).
+std::string check_push_down(const at::LaminarForest& forest,
+                            const std::vector<double>& x_before,
+                            const std::vector<double>& x_after,
+                            double radius = kDefaultRadius);
+
+/// Algorithm 1 output: x~(i) is the floor or ceiling of x(i) on the
+/// topmost set I and exactly x(i) elsewhere; Claim 1 holds for I
+/// (antichain, positive, zero ancestors, full strict descendants); and
+/// the Lemma 3.3 budget x~(Des(r)) <= (9/5) x(Des(r)) holds per root,
+/// evaluated in Rational within radius.
+std::string check_rounding(const at::LaminarForest& forest,
+                           const std::vector<double>& x,
+                           const std::vector<at::Time>& x_tilde,
+                           const std::vector<int>& topmost,
+                           double radius = kDefaultRadius);
+
+/// Zero-radius variant for the exact pipeline's Rational solution.
+std::string check_rounding_exact(const at::LaminarForest& forest,
+                                 const std::vector<num::Rational>& x,
+                                 const std::vector<at::Time>& x_tilde,
+                                 const std::vector<int>& topmost);
+
+/// Final schedule, in integer arithmetic (exact by construction):
+/// every job receives exactly p_j distinct slots inside its window, no
+/// slot carries more than g jobs, the distinct-active-slot count equals
+/// `claimed_active_slots`, and — when `open_budget >= 0` — the active
+/// count stays within the opened-slot budget sum x~.
+std::string check_schedule(const at::Instance& instance,
+                           const at::Schedule& schedule,
+                           std::int64_t claimed_active_slots,
+                           std::int64_t open_budget = -1);
+
+/// Throwing wrapper for pipeline wiring: bumps at.verify.checks and
+/// at.verify.stage.<stage>, and on a non-empty report bumps
+/// at.verify.failures and throws util::CheckError with the diagnostic.
+void require(const char* stage, const std::string& report);
+
+}  // namespace nat::verify

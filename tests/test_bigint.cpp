@@ -186,6 +186,38 @@ TEST(BigInt, ToDouble) {
   EXPECT_DOUBLE_EQ(big.to_double(), 18446744073709551616.0);
 }
 
+TEST(BigInt, BitLengthKnownValues) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(3).bit_length(), 2u);
+  EXPECT_EQ(BigInt(-8).bit_length(), 4u);  // magnitude only
+  EXPECT_EQ(BigInt(INT64_MAX).bit_length(), 63u);
+  // Multi-limb: 2^100 has bit length 101.
+  EXPECT_EQ((BigInt(1LL << 50) * BigInt(1LL << 50)).bit_length(), 101u);
+}
+
+TEST(BigInt, ShiftedLeftMatchesMultiplication) {
+  Rng rng(4096);
+  for (int iter = 0; iter < 500; ++iter) {
+    BigInt v(rng.uniform_int(-1'000'000'000LL, 1'000'000'000LL));
+    const auto s =
+        static_cast<std::size_t>(rng.uniform_int(0, 200));
+    BigInt expected = v;
+    for (std::size_t i = 0; i < s; ++i) expected *= BigInt(2);
+    EXPECT_EQ(v.shifted_left(s).to_string(), expected.to_string())
+        << v.to_string() << " << " << s;
+  }
+  EXPECT_EQ(BigInt(0).shifted_left(1000).to_string(), "0");
+}
+
+TEST(BigInt, ShiftedLeftGrowsBitLength) {
+  const BigInt v(5);  // 101b, bit length 3
+  for (std::size_t s : {0u, 1u, 31u, 32u, 33u, 64u, 130u}) {
+    EXPECT_EQ(v.shifted_left(s).bit_length(), 3u + s) << s;
+  }
+}
+
 TEST(BigInt, LargeMultiplicationKnownValue) {
   BigInt a = BigInt::from_string("123456789012345678901234567890");
   BigInt b = BigInt::from_string("987654321098765432109876543210");

@@ -25,6 +25,37 @@ TEST(Serialize, RejectsBadHeader) {
                util::CheckError);  // truncated
 }
 
+// Hardened read_instance: hostile or corrupted headers fail with a
+// clear CheckError instead of garbage instances or unbounded loops.
+TEST(Serialize, RejectsMalformedHeaders) {
+  // Non-numeric g leaves the stream failed.
+  EXPECT_THROW(instance_from_string("activetime v1\ng two\njobs 0\n"),
+               util::CheckError);
+  // g = 0 machines cannot schedule anything.
+  EXPECT_THROW(instance_from_string("activetime v1\ng 0\njobs 0\n"),
+               util::CheckError);
+  // Missing g section entirely.
+  EXPECT_THROW(instance_from_string("activetime v1\njobs 1\n0 1 1\n"),
+               util::CheckError);
+  // Non-numeric job count.
+  EXPECT_THROW(instance_from_string("activetime v1\ng 2\njobs many\n"),
+               util::CheckError);
+}
+
+TEST(Serialize, RejectsHostileJobCount) {
+  // A declared count above the format cap must be rejected up front,
+  // not drive a ten-quintillion-iteration parse loop.
+  EXPECT_THROW(
+      instance_from_string("activetime v1\ng 2\njobs 99999999999999\n"),
+      util::CheckError);
+}
+
+TEST(Serialize, RejectsNonNumericJobFields) {
+  EXPECT_THROW(
+      instance_from_string("activetime v1\ng 2\njobs 1\n0 x 1\n"),
+      util::CheckError);
+}
+
 TEST(Serialize, WriteScheduleIsHumanReadable) {
   at::Instance inst;
   inst.g = 2;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "helpers.hpp"
@@ -82,6 +83,54 @@ TEST_P(TransformSweep, Claim1Holds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TransformSweep, ::testing::Range(0, 160));
+
+TEST(PushDownTransform, NearEpsDrainLeavesNoStrandedAssignments) {
+  // Regression: when a move drains x(i) to within kFracEps, the split
+  // ratio must be exactly 1. Forming theta / x(i) against the
+  // sub-epsilon remainder moves slightly less than all of the y mass;
+  // the snap then zeroes x(i) with a residue stranded at i, breaking
+  // y <= |c| * x(i).
+  Pipeline p = run_pipeline(testing::small_nested());
+  // A class with slots at both a node and one of its strict
+  // descendants, so the relocation has somewhere to go.
+  int cls = -1, node = -1;
+  for (std::size_t c = 0; c < p.lp.y_vars.size() && cls < 0; ++c) {
+    for (const auto& [a, ka] : p.lp.y_vars[c]) {
+      for (const auto& [b, kb] : p.lp.y_vars[c]) {
+        if (a != b && p.forest.is_ancestor(a, b)) {
+          cls = static_cast<int>(c);
+          node = a;
+          break;
+        }
+      }
+      if (cls >= 0) break;
+    }
+  }
+  ASSERT_GE(cls, 0) << "test instance has no nested class pair";
+
+  FractionalSolution sol = p.before;
+  std::fill(sol.x.begin(), sol.x.end(), 0.0);
+  for (auto& ys : sol.y) std::fill(ys.begin(), ys.end(), 0.0);
+  // The move leaves a 5e-7 remainder — below kFracEps, so the drain
+  // guard (ratio = 1) must take over.
+  sol.x[node] = 1.0 + 5e-7;
+  for (std::size_t k = 0; k < p.lp.y_vars[cls].size(); ++k) {
+    if (p.lp.y_vars[cls][k].first == node) sol.y[cls][k] = 0.8;
+  }
+
+  push_down_transform(p.forest, p.lp, sol);
+
+  EXPECT_EQ(sol.x[node], 0.0) << "sub-eps residue must snap to zero";
+  double at_node = 0.0, total = 0.0;
+  for (std::size_t c = 0; c < p.lp.y_vars.size(); ++c) {
+    for (std::size_t k = 0; k < p.lp.y_vars[c].size(); ++k) {
+      total += sol.y[c][k];
+      if (p.lp.y_vars[c][k].first == node) at_node += sol.y[c][k];
+    }
+  }
+  EXPECT_EQ(at_node, 0.0) << "assignment mass stranded on a zeroed node";
+  EXPECT_NEAR(total, 0.8, 1e-12) << "transform must conserve y mass";
+}
 
 }  // namespace
 }  // namespace nat::at

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -117,6 +120,75 @@ TEST(Rational, FromDoubleExactIntegersRoundTrip) {
 TEST(Rational, ToDouble) {
   EXPECT_DOUBLE_EQ(Q(1, 2).to_double(), 0.5);
   EXPECT_DOUBLE_EQ(Q(-1, 3).to_double(), -1.0 / 3.0);
+}
+
+// The verify layer converts every double artifact through
+// from_double_exact; these round trips are what make its exact
+// re-certification trustworthy at the extremes of the double range.
+TEST(Rational, RoundTripSubnormals) {
+  // 5e-324 is the smallest positive subnormal; its exact value is
+  // 2^-1074, whose denominator used to overflow the naive
+  // num/den double conversion and collapse the round trip to 0.
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(Rational::from_double_exact(tiny).to_double(), tiny);
+  EXPECT_EQ(Rational::from_double_exact(-tiny).to_double(), -tiny);
+  const double min_normal = std::numeric_limits<double>::min();
+  EXPECT_EQ(Rational::from_double_exact(min_normal).to_double(),
+            min_normal);
+  EXPECT_EQ(Rational::from_double_exact(min_normal / 2).to_double(),
+            min_normal / 2);
+}
+
+TEST(Rational, RoundTripExtremeMagnitudes) {
+  const double huge = std::numeric_limits<double>::max();
+  EXPECT_EQ(Rational::from_double_exact(huge).to_double(), huge);
+  EXPECT_EQ(Rational::from_double_exact(-huge).to_double(), -huge);
+  EXPECT_THROW(
+      Rational::from_double_exact(std::numeric_limits<double>::infinity()),
+      util::CheckError);
+  EXPECT_THROW(
+      Rational::from_double_exact(std::nan("")), util::CheckError);
+}
+
+TEST(Rational, ToDoubleWideNumerators) {
+  // 2^60 + 1 needs 61 significant bits — more than a double's 53 — so
+  // to_double must round to the nearest representable, which is 2^60.
+  const BigInt wide = BigInt(1LL << 60) + BigInt(1);
+  EXPECT_DOUBLE_EQ(Rational(wide, BigInt(1)).to_double(),
+                   std::ldexp(1.0, 60));
+  // (2^60 + 1) / 2^60 = 1 + 2^-60 rounds back to exactly 1.
+  EXPECT_DOUBLE_EQ(Rational(wide, BigInt(1LL << 60)).to_double(), 1.0);
+  // A 120-bit integer still converts within 1 ulp.
+  const BigInt sq = wide * wide;
+  EXPECT_DOUBLE_EQ(Rational(sq, BigInt(1)).to_double(),
+                   std::ldexp(1.0, 120));
+}
+
+TEST(Rational, ToDoubleSaturatesOutOfRange) {
+  // Magnitudes beyond DBL_MAX saturate through ldexp instead of
+  // producing garbage; reciprocals underflow cleanly toward zero.
+  Rational beyond = Rational::from_double_exact(
+      std::numeric_limits<double>::max());
+  beyond *= Q(4);
+  EXPECT_TRUE(std::isinf(beyond.to_double()));
+  EXPECT_GT(beyond.to_double(), 0.0);
+  const Rational below = Q(1) / beyond / beyond;
+  EXPECT_EQ(below.to_double(), 0.0);
+}
+
+TEST(Rational, FromDoubleExactRoundTripRandomized) {
+  Rng rng(424242);
+  for (int iter = 0; iter < 2000; ++iter) {
+    // Random signed mantissa times a random power of two spanning
+    // normals and subnormals.
+    const double mant =
+        static_cast<double>(rng.uniform_int(-(1LL << 53), 1LL << 53));
+    const int exp = static_cast<int>(rng.uniform_int(-1080, 960));
+    const double v = std::ldexp(mant, exp);
+    if (!std::isfinite(v)) continue;
+    EXPECT_EQ(Rational::from_double_exact(v).to_double(), v)
+        << "mant=" << mant << " exp=" << exp;
+  }
 }
 
 }  // namespace

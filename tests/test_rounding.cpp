@@ -7,6 +7,7 @@
 #include "activetime/feasibility.hpp"
 #include "helpers.hpp"
 #include "lp/dense_simplex.hpp"
+#include "util/check.hpp"
 
 namespace nat::at {
 namespace {
@@ -77,6 +78,28 @@ TEST_P(RoundingSweep, RoundedVectorIsFeasible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RoundingSweep, ::testing::Range(0, 160));
+
+TEST(Rounding, RejectsDriftedNonTopmostInput) {
+  // Nodes outside I must be integral up to kFracEps. A 5e-5 drift sits
+  // above that radius but below the 1e-4 ad-hoc slack the old check
+  // used — it would previously be floored to the wrong integer
+  // silently; the exact-rational integrality check rejects it.
+  Rounded r = run(testing::small_nested());
+  std::vector<bool> in_topmost(r.forest.num_nodes(), false);
+  for (int i : r.topmost) in_topmost[i] = true;
+  int outside = -1;
+  for (int i = 0; i < r.forest.num_nodes(); ++i) {
+    if (!in_topmost[i]) {
+      outside = i;
+      break;
+    }
+  }
+  ASSERT_GE(outside, 0) << "test instance has no node outside I";
+  std::vector<double> drifted = r.x;
+  drifted[outside] += 5e-5;
+  EXPECT_THROW(round_solution(r.forest, drifted, r.topmost),
+               util::CheckError);
+}
 
 }  // namespace
 }  // namespace nat::at
