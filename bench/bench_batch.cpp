@@ -1,0 +1,136 @@
+// bench_batch — throughput scaling of the fault-isolated batch layer.
+//
+// Builds a mixed workload of healthy cells (contended + loose laminar
+// instances) laced with poisoned cells (malformed JSON, invalid
+// windows, infeasible contention) and solves the same batch at
+// increasing pool widths. Measured per width:
+//
+//  * wall time and cells/second,
+//  * speedup over the 1-thread run,
+//  * the record mix (solved / error / timeout), asserted identical at
+//    every width — fault isolation must not depend on scheduling.
+//
+// The poisoned cells are the point of the bench: before the completion
+// -group pool fix, one throwing cell tore down the process, so this
+// workload could not finish at all. Results append to
+// BENCH_batch.json (--out) like the other benches.
+//
+//   $ ./bench/bench_batch [--cells N] [--max-threads N] [--out file]
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "io/serialize.hpp"
+#include "io/table.hpp"
+#include "service/batch.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace nat;
+
+namespace {
+
+std::string native_text(const at::Instance& instance) {
+  return io::to_string(instance);
+}
+
+/// ~1/8 of the cells are poisoned, cycling through the three failure
+/// families the service must isolate.
+std::vector<service::BatchItem> build_workload(int cells) {
+  std::vector<service::BatchItem> items;
+  items.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    service::BatchItem item;
+    item.id = "cell-" + std::to_string(i);
+    if (i % 8 == 3) {
+      switch ((i / 8) % 3) {
+        case 0:  // malformed payload -> input:parse
+          item.text = "{\"g\": 2, \"jobs\": [[0, 4,";
+          break;
+        case 1:  // deadline before release -> input:validate
+          item.text = "{\"g\": 1, \"jobs\": [[5, 2, 1]]}";
+          break;
+        default:  // g=1, two unit jobs in a length-1 window -> infeasible
+          item.text = "{\"g\": 1, \"jobs\": [[0, 1, 1], [0, 1, 1]]}";
+          break;
+      }
+    } else {
+      const at::Instance inst = (i % 2 == 0)
+                                    ? bench::contended_instance(i, 3)
+                                    : bench::loose_instance(i, 3);
+      item.format = service::BatchItem::Format::kNative;
+      item.text = native_text(inst);
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int cells = 160;
+  unsigned max_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string out_path = "BENCH_batch.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cells" && i + 1 < argc) {
+      cells = std::atoi(argv[++i]);
+    } else if (arg == "--max-threads" && i + 1 < argc) {
+      max_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const std::vector<service::BatchItem> items = build_workload(cells);
+  std::cout << "# bench_batch: " << items.size()
+            << " cells (1/8 poisoned), widths 1.." << max_threads << "\n\n";
+
+  io::Table table({"threads", "wall_ms", "cells_per_s", "speedup", "solved",
+                   "errors", "timeouts"});
+  obs::Json runs = obs::Json::array();
+  double base_ms = 0.0;
+  for (unsigned t = 1; t <= max_threads; t *= 2) {
+    service::BatchOptions options;
+    options.threads = t;
+    const util::Stopwatch sw;
+    const service::BatchReport report = service::solve_batch(items, options);
+    const double ms = static_cast<double>(sw.nanos()) / 1e6;
+    if (t == 1) base_ms = ms;
+
+    // The record mix is a scheduling invariant: same batch, same
+    // records, at any width.
+    NAT_CHECK(report.solved + report.errors + report.timeouts ==
+              static_cast<int>(items.size()));
+    NAT_CHECK_MSG(report.errors == static_cast<int>(items.size()) / 8,
+                  "poisoned-cell count drifted at " << t << " threads");
+
+    table.add_row(
+        {std::to_string(t), io::Table::num(ms, 1),
+         io::Table::num(1e3 * static_cast<double>(items.size()) / ms, 1),
+         io::Table::num(base_ms / ms, 2), std::to_string(report.solved),
+         std::to_string(report.errors), std::to_string(report.timeouts)});
+
+    obs::Json run = obs::Json::object();
+    run["threads"] = static_cast<std::int64_t>(t);
+    run["wall_ms"] = ms;
+    run["solved"] = report.solved;
+    run["errors"] = report.errors;
+    runs.push_back(run);
+  }
+  table.print_markdown(std::cout);
+
+  obs::Json doc = obs::Json::object();
+  doc["bench"] = "batch";
+  doc["cells"] = static_cast<std::int64_t>(items.size());
+  doc["runs"] = runs;
+  std::ofstream os(out_path);
+  os << doc.dump(2) << '\n';
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

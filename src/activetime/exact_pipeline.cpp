@@ -20,28 +20,58 @@ using num::Rational;
 /// Exact Lemma 3.1 transform (same structure as the double version in
 /// lp_transform.cpp, with exact sign tests; y is not tracked — the
 /// rounding only consumes x, and feasibility is re-proved by flow).
+///
+/// Single postorder pass. Each processed subtree keeps an intrusive
+/// linked list of its nodes with spare capacity (x < L), ordered
+/// descendant-before-ancestor — the only order Lemma 3.1 needs:
+/// consuming the list front-first fills every spare descendant of a
+/// node before the node itself, so a positive node can never end up
+/// above a non-full one; nodes in different branches are incomparable
+/// and may be filled in any order. At node i the children's lists are
+/// concatenated in O(#children) and positive mass at i is poured into
+/// the list front-first, dropping each candidate as it fills. A
+/// dropped candidate never comes back, so the transform is
+/// O(n + moves) = O(n), replacing the per-node rebuild-and-sort of the
+/// full descendant set that was quadratic on deep forests.
 void exact_push_down(const LaminarForest& forest,
                      std::vector<Rational>& x) {
+  const int m = forest.num_nodes();
+  std::vector<int> next(m, -1), head(m, -1), tail(m, -1);
   for (int i : forest.postorder()) {
-    if (x[i].sign() <= 0) continue;
-    std::vector<int> candidates;
-    for (int d : forest.subtree(i)) {
-      if (d == i) continue;
-      if (Rational(forest.node(d).length()) - x[d] > Rational(0)) {
-        candidates.push_back(d);
+    // Children precede i in postorder, so their lists are final.
+    int h = -1, t = -1;
+    for (int c : forest.node(i).children) {
+      if (head[c] < 0) continue;
+      if (h < 0) {
+        h = head[c];
+      } else {
+        next[t] = head[c];
       }
+      t = tail[c];
     }
-    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-      return forest.depth(a) > forest.depth(b);
-    });
-    for (int d : candidates) {
-      if (x[i].sign() <= 0) break;
+    while (x[i].sign() > 0 && h >= 0) {
+      const int d = h;
       const Rational spare = Rational(forest.node(d).length()) - x[d];
-      if (spare.sign() <= 0) continue;
+      NAT_DCHECK(spare.sign() > 0);
       const Rational theta = std::min(spare, x[i]);
       x[d] += theta;
       x[i] -= theta;
+      if (theta == spare) h = next[d];  // d is full: drop it for good
     }
+    if (h < 0) t = -1;
+    // i itself becomes a candidate for its ancestors; it is an
+    // ancestor of everything in its list, so it goes last.
+    if (Rational(forest.node(i).length()) - x[i] > Rational(0)) {
+      if (h < 0) {
+        h = i;
+      } else {
+        next[t] = i;
+      }
+      t = i;
+      next[i] = -1;
+    }
+    head[i] = h;
+    tail[i] = t;
   }
 }
 
@@ -121,7 +151,8 @@ std::vector<Time> exact_round(const LaminarForest& forest,
 
 }  // namespace
 
-ExactPipelineResult solve_nested_exact(const Instance& instance) {
+ExactPipelineResult solve_nested_exact(const Instance& instance,
+                                       const ExactPipelineOptions& options) {
   ExactPipelineResult result;
   if (instance.jobs.empty()) return result;
 
@@ -135,6 +166,7 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
   }();
   {
     FeasibilityOracle oracle(forest);
+    oracle.set_cancel(options.cancel);
     std::vector<Time> full(forest.num_nodes());
     for (int i = 0; i < forest.num_nodes(); ++i) {
       full[i] = forest.node(i).length();
@@ -148,7 +180,7 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
   }();
   lp::ExactSolution sol = [&] {
     obs::Span span("solve_nested_exact/lp_solve");
-    return lp::solve_exact(lp.model);
+    return lp::solve_exact(lp.model, options.cancel);
   }();
   NAT_CHECK_MSG(sol.status == lp::Status::kOptimal,
                 "exact LP did not solve: " << lp::to_string(sol.status));
@@ -162,6 +194,7 @@ ExactPipelineResult solve_nested_exact(const Instance& instance) {
                   "exact LP variable out of bounds at node " << i);
   }
 
+  util::poll_cancel(options.cancel);
   {
     obs::Span span("solve_nested_exact/push_down");
     exact_push_down(forest, x);

@@ -16,8 +16,17 @@
 #include "activetime/instance.hpp"
 #include "activetime/schedule.hpp"
 #include "numeric/rational.hpp"
+#include "util/cancel.hpp"
 
 namespace nat::at {
+
+struct ExactPipelineOptions {
+  // Cooperative cancellation/deadline (util/cancel.hpp): polled at
+  // every rational-simplex pivot, at every oracle query, and between
+  // pipeline stages. The rational LP dominates the runtime, so a fired
+  // token aborts within one exact pivot.
+  const util::CancelToken* cancel = nullptr;
+};
 
 struct ExactPipelineResult {
   Schedule schedule;
@@ -31,6 +40,7 @@ struct ExactPipelineResult {
 /// Runs the exact pipeline. NAT_CHECKs laminarity / feasibility and —
 /// since arithmetic is exact — that the rounded vector is feasible
 /// outright (Theorem 4.5 holds with no repair loop at all).
-ExactPipelineResult solve_nested_exact(const Instance& instance);
+ExactPipelineResult solve_nested_exact(
+    const Instance& instance, const ExactPipelineOptions& options = {});
 
 }  // namespace nat::at

@@ -27,64 +27,97 @@ void push_down_transform(const LaminarForest& forest, const StrongLp& lp,
     }
   }
 
+  // Single postorder pass over intrusive per-subtree lists of
+  // spare-capacity candidates, ordered descendant-before-ancestor —
+  // the only order Lemma 3.1 needs: consuming a list front-first fills
+  // every spare descendant of a node before the node itself, so a
+  // positive node never ends up above a non-full one (nodes in
+  // different branches are incomparable and may fill in any order).
+  // Children's lists are concatenated in O(#children) and each filled
+  // candidate is dropped for good, so the transform is O(n + moves)
+  // instead of the previous per-node rebuild-and-sort of the full
+  // descendant set, which was quadratic on deep forests. Mirrors
+  // exact_push_down in exact_pipeline.cpp.
+  std::vector<int> next(m, -1), head(m, -1), tail(m, -1);
   for (int i : forest.postorder()) {
-    if (sol.x[i] <= kFracEps) continue;
-    // Candidates: strict descendants with spare capacity, deepest
-    // first so that filling one never creates a positive node above a
-    // non-full one.
-    std::vector<int> candidates;
-    for (int d : forest.subtree(i)) {
-      if (d == i) continue;
-      if (static_cast<double>(forest.node(d).length()) - sol.x[d] >
-          kFracEps) {
-        candidates.push_back(d);
+    // Children precede i in postorder, so their lists are final.
+    int h = -1, t = -1;
+    for (int c : forest.node(i).children) {
+      if (head[c] < 0) continue;
+      if (h < 0) {
+        h = head[c];
+      } else {
+        next[t] = head[c];
       }
+      t = tail[c];
     }
-    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-      return forest.depth(a) > forest.depth(b);
-    });
-    for (int d : candidates) {
-      const double spare =
-          static_cast<double>(forest.node(d).length()) - sol.x[d];
-      if (spare <= kFracEps || sol.x[i] <= kFracEps) continue;
-      const double theta = std::min(spare, sol.x[i]);
-      // Guard the proportional split against a near-zero denominator:
-      // when the move drains i to within kFracEps, relocate every
-      // remaining share outright. A ratio formed against a sub-epsilon
-      // x(i) amplifies fp error, and the sub-tolerance snap below would
-      // then zero x(i) while a y residue stays stranded at i —
-      // violating y <= |c| * x(i) by up to kFracEps per class.
-      const bool drains = sol.x[i] - theta <= kFracEps;
-      const double ratio = drains ? 1.0 : theta / sol.x[i];
-      ++moves;
-      mass_moved += theta;
-      // Move a proportional share of every assignment from i to d.
-      // Valid: d ∈ Des(i), so every class assignable to i is
-      // assignable to d.
-      for (const auto& [c, k] : at_node[i]) {
-        const double moved = ratio * sol.y[c][k];
-        if (moved == 0.0) continue;
-        sol.y[c][k] -= moved;
-        // Find d's slot within class c (exists whenever the class's
-        // node is an ancestor of i, hence of d... d is a descendant of
-        // i ⊆ Des(k(c)), so d ∈ Des(k(c)) too).
-        bool placed = false;
-        for (std::size_t k2 = 0; k2 < lp.y_vars[c].size(); ++k2) {
-          if (lp.y_vars[c][k2].first == d) {
-            sol.y[c][k2] += moved;
-            placed = true;
-            break;
-          }
+    if (sol.x[i] > kFracEps) {
+      while (h >= 0 && sol.x[i] > kFracEps) {
+        const int d = h;
+        const double spare =
+            static_cast<double>(forest.node(d).length()) - sol.x[d];
+        if (spare <= kFracEps) {  // fp residue only: drop the candidate
+          h = next[d];
+          continue;
         }
-        NAT_CHECK_MSG(placed, "transform: class has no slot at descendant");
+        const double theta = std::min(spare, sol.x[i]);
+        // Guard the proportional split against a near-zero denominator:
+        // when the move drains i to within kFracEps, relocate every
+        // remaining share outright. A ratio formed against a
+        // sub-epsilon x(i) amplifies fp error, and the sub-tolerance
+        // snap below would then zero x(i) while a y residue stays
+        // stranded at i — violating y <= |c| * x(i) by up to kFracEps
+        // per class.
+        const bool drains = sol.x[i] - theta <= kFracEps;
+        const double ratio = drains ? 1.0 : theta / sol.x[i];
+        ++moves;
+        mass_moved += theta;
+        // Move a proportional share of every assignment from i to d.
+        // Valid: d ∈ Des(i), so every class assignable to i is
+        // assignable to d.
+        for (const auto& [c, k] : at_node[i]) {
+          const double moved = ratio * sol.y[c][k];
+          if (moved == 0.0) continue;
+          sol.y[c][k] -= moved;
+          // Find d's slot within class c (exists whenever the class's
+          // node is an ancestor of i, hence of d... d is a descendant
+          // of i ⊆ Des(k(c)), so d ∈ Des(k(c)) too).
+          bool placed = false;
+          for (std::size_t k2 = 0; k2 < lp.y_vars[c].size(); ++k2) {
+            if (lp.y_vars[c][k2].first == d) {
+              sol.y[c][k2] += moved;
+              placed = true;
+              break;
+            }
+          }
+          NAT_CHECK_MSG(placed, "transform: class has no slot at descendant");
+        }
+        sol.x[d] += theta;
+        sol.x[i] -= theta;
+        if (static_cast<double>(forest.node(d).length()) - sol.x[d] <=
+            kFracEps) {
+          h = next[d];  // d is (effectively) full: drop it for good
+        }
       }
-      sol.x[d] += theta;
-      sol.x[i] -= theta;
-      if (sol.x[i] <= kFracEps) break;
+      // Snap a sub-tolerance residue to zero so downstream
+      // classification is clean.
+      if (sol.x[i] <= kFracEps) sol.x[i] = 0.0;
     }
-    // Snap a sub-tolerance residue to zero so downstream
-    // classification is clean.
-    if (sol.x[i] <= kFracEps) sol.x[i] = 0.0;
+    if (h < 0) t = -1;
+    // i itself becomes a candidate for its ancestors; it is an
+    // ancestor of everything in its list, so it goes last.
+    if (static_cast<double>(forest.node(i).length()) - sol.x[i] >
+        kFracEps) {
+      if (h < 0) {
+        h = i;
+      } else {
+        next[t] = i;
+      }
+      t = i;
+      next[i] = -1;
+    }
+    head[i] = h;
+    tail[i] = t;
   }
 
   static obs::Counter& c_moves = obs::counter("at.pushdown.moves");

@@ -79,6 +79,7 @@ void FeasibilityOracle::augment() {
 }
 
 bool FeasibilityOracle::feasible(const std::vector<Time>& open) {
+  util::poll_cancel(cancel_);
   NAT_CHECK(static_cast<int>(open.size()) == forest_.num_nodes());
   static obs::Counter& c_queries = obs::counter("at.oracle.queries");
   static obs::Counter& c_warm = obs::counter("at.oracle.warm_queries");
@@ -113,6 +114,7 @@ bool FeasibilityOracle::feasible(const std::vector<Time>& open) {
 }
 
 bool FeasibilityOracle::feasible_if_incremented(int i) {
+  util::poll_cancel(cancel_);
   NAT_CHECK(i >= 0 && i < forest_.num_nodes());
   NAT_CHECK_MSG(region_node_[i] >= 0, "region " << i << " out of scope");
   NAT_CHECK_MSG(open_[i] < forest_.node(i).length(),

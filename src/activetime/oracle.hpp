@@ -27,6 +27,7 @@
 
 #include "activetime/tree.hpp"
 #include "flow/dinic.hpp"
+#include "util/cancel.hpp"
 
 namespace nat::at {
 
@@ -69,6 +70,13 @@ class FeasibilityOracle {
 
   const LaminarForest& forest() const { return forest_; }
 
+  /// Cooperative cancellation: `token` (owned by the caller, may be
+  /// nullptr) is polled at every public query, so long repair / trim /
+  /// branch-and-bound query sequences abort at the next query once the
+  /// token fires. The oracle may be left mid-sequence but structurally
+  /// intact; callers abandon it after a cancellation.
+  void set_cancel(const util::CancelToken* token) { cancel_ = token; }
+
  private:
   /// Retunes region i's sink edge and job arcs to `value` open slots;
   /// returns the flow cancelled by stranding decreases.
@@ -92,6 +100,7 @@ class FeasibilityOracle {
   bool queried_ = false;           // becomes true at the first feasible()
   bool cut_dirty_ = true;
   std::vector<bool> cut_side_;     // cached min-cut source side
+  const util::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace nat::at

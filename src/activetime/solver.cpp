@@ -74,6 +74,7 @@ NestedSolveResult solve_nested(const Instance& instance,
   // One incremental oracle serves the precheck, repair, and trim: the
   // network is built once and each query warm-starts from the last.
   FeasibilityOracle oracle(forest);
+  oracle.set_cancel(options.cancel);
 
   // Feasibility of the instance itself (all regions fully open).
   {
@@ -91,8 +92,10 @@ NestedSolveResult solve_nested(const Instance& instance,
   }();
   lp::Solution lps = [&] {
     obs::Span span("solve_nested/lp_solve");
-    return options.bounded_lp_backend ? lp::solve_bounded(lp.model)
-                                      : lp::solve(lp.model);
+    lp::SolveOptions lp_options;
+    lp_options.cancel = options.cancel;
+    return options.bounded_lp_backend ? lp::solve_bounded(lp.model, lp_options)
+                                      : lp::solve(lp.model, lp_options);
   }();
   NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
                 "strong LP did not solve: " << lp::to_string(lps.status));

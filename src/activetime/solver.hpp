@@ -10,6 +10,7 @@
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/schedule.hpp"
 #include "activetime/tree.hpp"
+#include "util/cancel.hpp"
 #include "verify/verify.hpp"
 
 namespace nat::at {
@@ -34,6 +35,11 @@ struct NestedSolverOptions {
   // bounds natively (no bound rows) and is usually faster on large
   // instances; both backends produce the same optimum.
   bool bounded_lp_backend = false;
+  // Cooperative cancellation/deadline (util/cancel.hpp): polled at
+  // every simplex pivot, oracle query, repair step, and trim step, so
+  // a fired token aborts the solve with CancelledError at the next
+  // poll. The caller owns the token; nullptr disables polling.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct NestedSolveResult {

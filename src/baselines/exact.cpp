@@ -15,8 +15,11 @@ namespace {
 
 class RegionSearch {
  public:
-  RegionSearch(const LaminarForest& forest, std::int64_t node_budget)
-      : forest_(forest), oracle_(forest), budget_(node_budget) {
+  RegionSearch(const LaminarForest& forest, std::int64_t node_budget,
+               const util::CancelToken* cancel)
+      : forest_(forest), oracle_(forest), budget_(node_budget),
+        cancel_(cancel) {
+    oracle_.set_cancel(cancel);
     const int m = forest.num_nodes();
     order_ = forest.postorder();
     pos_of_.assign(m, -1);
@@ -75,6 +78,9 @@ class RegionSearch {
         exhausted_ = true;
         return false;
       }
+      // Deadline poll, amortized: most loop turns also hit an oracle
+      // query (which polls on entry); this catches pruning-only runs.
+      if ((nodes_ & 255) == 0) util::poll_cancel(cancel_);
       counts_[i] = c;
       // Subtree of i is fully assigned now; enforce its lower bound.
       std::int64_t sub_sum = 0;
@@ -109,6 +115,7 @@ class RegionSearch {
   std::int64_t budget_ = 0;
   std::int64_t nodes_ = 0;
   bool exhausted_ = false;
+  const util::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace
@@ -121,12 +128,13 @@ std::optional<ExactResult> exact_opt_laminar(const Instance& instance,
   LaminarForest forest = LaminarForest::build(instance);
   forest.canonicalize();
 
-  // Upper bound from greedy; also certifies feasibility.
-  GreedyResult greedy =
-      greedy_minimal_feasible(instance, DeactivationOrder::kRightToLeft);
+  // Upper bound from greedy; also certifies feasibility. The scan is
+  // the most expensive pre-search phase, so it shares the deadline.
+  GreedyResult greedy = greedy_minimal_feasible(
+      instance, DeactivationOrder::kRightToLeft, 0, options.cancel);
   const std::int64_t ub = greedy.active_slots;
 
-  RegionSearch search(forest, options.node_budget);
+  RegionSearch search(forest, options.node_budget, options.cancel);
   for (std::int64_t k = search.global_lower_bound(); k <= ub; ++k) {
     auto counts = search.fit(k);
     if (search.exhausted()) return std::nullopt;

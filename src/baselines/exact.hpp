@@ -21,12 +21,17 @@
 
 #include "activetime/instance.hpp"
 #include "activetime/schedule.hpp"
+#include "util/cancel.hpp"
 
 namespace nat::at::baselines {
 
 struct ExactOptions {
   // Abort (return nullopt) after visiting this many search nodes.
   std::int64_t node_budget = 20'000'000;
+  // Cooperative cancellation/deadline (util/cancel.hpp): polled every
+  // few hundred branch-and-bound nodes and at every oracle query; a
+  // fired token aborts the search with CancelledError.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct ExactResult {

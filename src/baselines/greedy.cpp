@@ -5,6 +5,7 @@
 #include "activetime/feasibility.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -23,7 +24,8 @@ const char* to_string(DeactivationOrder order) {
 
 GreedyResult greedy_minimal_feasible(const Instance& instance,
                                      DeactivationOrder order,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     const util::CancelToken* cancel) {
   obs::Span span_total("greedy_minimal_feasible");
   instance.validate();
   // Candidate slots: union of job windows.
@@ -81,6 +83,7 @@ GreedyResult greedy_minimal_feasible(const Instance& instance,
   {
     obs::Span span("greedy_minimal_feasible/deactivation");
     for (Time t : scan) {
+      util::poll_cancel(cancel);
       std::vector<Time> without;
       without.reserve(open.size() - 1);
       for (Time u : open) {

@@ -15,6 +15,7 @@
 
 #include "activetime/instance.hpp"
 #include "activetime/schedule.hpp"
+#include "util/cancel.hpp"
 
 namespace nat::at::baselines {
 
@@ -37,11 +38,13 @@ struct GreedyResult {
 };
 
 /// Runs greedy deactivation. NAT_CHECKs that the instance is feasible.
-/// `seed` is used only by kRandom.
+/// `seed` is used only by kRandom. The deactivation scan runs one flow
+/// test per candidate slot — on wide instances that is the dominant
+/// cost — so it polls `cancel` (util/cancel.hpp) before every test.
 GreedyResult greedy_minimal_feasible(
     const Instance& instance,
     DeactivationOrder order = DeactivationOrder::kRightToLeft,
-    std::uint64_t seed = 0);
+    std::uint64_t seed = 0, const util::CancelToken* cancel = nullptr);
 
 /// True iff `open_slots` is minimal feasible: feasible, and closing any
 /// single slot breaks feasibility. (Test helper for the 3-approx

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace nat::lp {
@@ -19,6 +20,7 @@ class BoundedSimplex {
   Solution run(const Model& model, const SolveOptions& options) {
     tol_ = options.tol;
     feas_tol_ = options.feas_tol;
+    cancel_ = options.cancel;
     build(model);
     max_iterations_ = options.max_iterations >= 0
                           ? options.max_iterations
@@ -201,6 +203,7 @@ class BoundedSimplex {
   template <class Allow>
   Status iterate(const Allow& allow) {
     for (;;) {
+      util::poll_cancel(cancel_);
       if (iterations_ >= max_iterations_) return Status::kIterLimit;
       if (!use_bland_ && iterations_ >= bland_after_) use_bland_ = true;
 
@@ -398,6 +401,7 @@ class BoundedSimplex {
   int structural_ = 0;
   double tol_ = 1e-9, feas_tol_ = 1e-7;
   std::int64_t iterations_ = 0, max_iterations_ = 0, bland_after_ = 0;
+  const util::CancelToken* cancel_ = nullptr;
   std::int64_t pivots_ = 0, bound_flips_ = 0, degenerate_ = 0;
   bool use_bland_ = false;
 };

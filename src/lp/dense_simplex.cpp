@@ -10,6 +10,7 @@ Solution solve(const Model& model, const SolveOptions& options) {
   opt.tol = options.tol;
   opt.feas_tol = options.feas_tol;
   opt.max_iterations = options.max_iterations;
+  opt.cancel = options.cancel;
   Solution sol = solver.solve(model, opt);
   // Every iteration of the dense tableau backend is a pivot.
   static obs::Counter& c_solves = obs::counter("lp.dense.solves");

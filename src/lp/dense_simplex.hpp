@@ -15,6 +15,8 @@ struct SolveOptions {
   double tol = 1e-9;
   double feas_tol = 1e-7;
   std::int64_t max_iterations = -1;  // -1: auto
+  // Cooperative cancellation, polled per pivot (util/cancel.hpp).
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Solves `model` (minimization) with the dense two-phase simplex.

@@ -2,12 +2,14 @@
 
 namespace nat::lp {
 
-ExactSolution solve_exact(const Model& model) {
+ExactSolution solve_exact(const Model& model,
+                          const util::CancelToken* cancel) {
   TableauSimplex<RationalTraits> solver;
   TableauSimplex<RationalTraits>::Options opt;
   // Exact arithmetic: Bland from the start would be safest but slow;
   // the stall threshold flips to Bland automatically, which guarantees
   // termination. Tolerances are ignored by RationalTraits.
+  opt.cancel = cancel;
   return solver.solve(model, opt);
 }
 

@@ -29,6 +29,8 @@ struct RationalTraits {
 
 /// Solves `model` (minimization) exactly. Model coefficients are
 /// converted from double losslessly (doubles are binary rationals).
-ExactSolution solve_exact(const Model& model);
+/// `cancel`, when given, is polled once per pivot (util/cancel.hpp).
+ExactSolution solve_exact(const Model& model,
+                          const util::CancelToken* cancel = nullptr);
 
 }  // namespace nat::lp

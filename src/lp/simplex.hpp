@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace nat::lp {
@@ -75,6 +76,10 @@ class TableauSimplex {
     double feas_tol = 1e-7;   // phase-1 residual treated as infeasible above
     std::int64_t max_iterations = -1;  // -1: auto from problem size
     std::int64_t bland_after = -1;     // -1: auto
+    // Polled once per pivot; check() aborts the solve by throwing
+    // CancelledError. One clock read per pivot is noise next to the
+    // O(rows * cols) pivot itself.
+    const util::CancelToken* cancel = nullptr;
   };
 
   GenericSolution<Num> solve(const Model& model, const Options& opt = {}) {
@@ -266,6 +271,7 @@ class TableauSimplex {
   template <class Allow>
   Status iterate(const Allow& allow) {
     for (;;) {
+      util::poll_cancel(opt_.cancel);
       if (iterations_ >= opt_.max_iterations) return Status::kIterLimit;
       if (!use_bland_ && iterations_ >= opt_.bland_after) use_bland_ = true;
 

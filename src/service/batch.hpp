@@ -1,0 +1,115 @@
+// Fault-isolated batch solving: many (instance, solver) cells fanned
+// out across a thread pool, where one bad cell produces a structured
+// error record instead of poisoning its neighbors or the process.
+//
+// The unit of work is a *cell*: one instance payload plus the solver
+// choice of the batch. Each cell is parsed, validated, solved, and
+// classified entirely inside its own try/catch on a pool worker:
+//
+//   * a malformed payload     -> status "error",   class "input:parse"
+//   * an invalid instance     -> status "error",   class "input:validate"
+//   * an infeasible instance  -> status "error",   class "check:<file>:<line>"
+//   * a verify-layer failure  -> status "error",   class "verify:<stage>"
+//   * a per-cell deadline hit -> status "timeout", class "timeout"
+//   * everything else         -> status "solved" with the solve numbers
+//
+// Failure classes follow the docs/CORRECTNESS.md taxonomy via
+// verify::classify_failure, so a batch record points at the same key a
+// fuzzer repro would. Cancellation is cooperative (util/cancel.hpp):
+// each cell gets its own CancelToken armed with options.timeout_ms and
+// threaded through the solver's pivot/oracle/B&B loops, so a hung cell
+// degrades to a "timeout" record while the rest of the batch proceeds.
+//
+// Schema, cancellation semantics, and the pool's concurrency contract
+// are documented in docs/SERVICE.md. Counters: at.service.*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/solver.hpp"
+
+namespace nat::service {
+
+enum class CellStatus { kSolved, kError, kTimeout, kSkipped };
+
+const char* to_string(CellStatus status);
+
+/// One instance payload. The payload stays *unparsed* text on purpose:
+/// parsing happens inside the cell's fault boundary, so a hostile
+/// payload fails that cell and nothing else.
+struct BatchItem {
+  enum class Format {
+    kJson,    // one JSON object: {"id": ..., "g": g, "jobs": [[r,d,p],...]}
+    kNative,  // the "activetime v1" text format of io/serialize.hpp
+  };
+  std::string id;    // echoed in the record; defaults to "cell-<index>"
+  std::string text;  // the payload
+  Format format = Format::kJson;
+};
+
+struct CellResult {
+  int index = -1;              // position in the batch
+  std::string id;
+  CellStatus status = CellStatus::kError;
+  std::string solver;          // solver that ran ("" if never reached)
+  std::string failure_class;   // taxonomy key ("" on success)
+  std::string error;           // full diagnostic ("" on success)
+  std::int64_t active_slots = -1;  // cost; -1 when not solved
+  double lp_value = -1.0;          // LP lower bound; < 0 when unused
+  int jobs = -1;                   // parsed job count; -1 if parse failed
+  std::int64_t wall_ns = 0;        // cell wall time (parse + solve)
+};
+
+struct BatchOptions {
+  // "auto" picks nested for laminar instances and greedy otherwise;
+  // "nested", "greedy", "exact" force that solver (nested/exact reject
+  // non-laminar instances with an error record).
+  std::string solver = "auto";
+  // Per-cell deadline in milliseconds; 0 disables. A cell that exceeds
+  // it yields a kTimeout record.
+  std::int64_t timeout_ms = 0;
+  // Worker threads for the batch pool; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  // When false, the first non-solved cell marks every cell that has
+  // not started yet as kSkipped (cells already running finish).
+  bool keep_going = true;
+  // Base options for the nested solver (per-cell cancel is overlaid).
+  at::NestedSolverOptions nested;
+  // Node budget for the exact solver.
+  std::int64_t exact_node_budget = 20'000'000;
+};
+
+struct BatchReport {
+  std::vector<CellResult> cells;  // in batch (index) order
+  int solved = 0;
+  int errors = 0;
+  int timeouts = 0;
+  int skipped = 0;
+};
+
+/// Called once per finished cell, in *completion* order, serialized
+/// (never concurrently). Used by the CLI to stream JSONL records.
+using CellCallback = std::function<void(const CellResult&)>;
+
+/// Solves every cell on a private pool of options.threads workers and
+/// returns the records in batch order. Never throws on a bad cell —
+/// cell failures come back as records; only batch-level misuse (e.g. an
+/// unknown options.solver) throws.
+BatchReport solve_batch(const std::vector<BatchItem>& items,
+                        const BatchOptions& options = {},
+                        const CellCallback& on_cell = {});
+
+/// Parses one JSON cell payload:
+///   {"id": "...", "g": 2, "jobs": [[release, deadline, processing], ...]}
+/// ("id" is optional — solve_batch takes the id from BatchItem).
+/// Throws util::CheckError on malformed input.
+at::Instance parse_json_instance(const std::string& text);
+
+/// One compact JSONL record for a cell (docs/SERVICE.md schema).
+std::string cell_to_json(const CellResult& cell);
+
+}  // namespace nat::service

@@ -1,0 +1,91 @@
+// Cooperative cancellation with optional deadlines.
+//
+// A CancelToken is created by the owner of a unit of work (a service
+// request, a batch cell, a test) and passed by pointer into the
+// long-running loops underneath — simplex pivots, branch-and-bound
+// nodes, the solver repair/trim loops, oracle queries. Those loops
+// poll check(), which throws CancelledError once the token is
+// cancelled or its deadline has passed; the exception unwinds the
+// solve and the owner maps it to a structured timeout/cancel record
+// (service::solve_batch) instead of losing the whole process.
+//
+// Thread-safety: cancel() and the polling side (cancelled() / check())
+// may race freely from any thread. set_deadline()/set_timeout_ms()
+// must be called before the token is shared with the workers.
+//
+// Cancellation is cooperative and therefore best-effort in latency:
+// a solve stops at the next poll point, not instantly. Poll points are
+// placed so the gap is one simplex pivot, one B&B node batch, or one
+// flow query — microseconds to low milliseconds on the instances this
+// repo targets (see docs/SERVICE.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace nat::util {
+
+/// Thrown by CancelToken::check(). Deliberately NOT derived from
+/// CheckError: cancellation is not an invariant violation, and callers
+/// that classify failures must be able to tell the two apart.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Thread-safe; idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a deadline. Call before sharing the token with workers.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Arms a deadline `ms` milliseconds from now. ms <= 0 means the
+  /// deadline has already passed (useful in tests).
+  void set_timeout_ms(std::int64_t ms) {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms));
+  }
+
+  bool deadline_armed() const { return has_deadline_; }
+
+  /// True once cancel() was called or the deadline has passed.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws CancelledError when cancelled. Loops poll this.
+  void check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      throw CancelledError("cancelled: cancel() was called");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      throw CancelledError("cancelled: deadline exceeded");
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Poll helper for pointer-carrying loops: no-op on nullptr.
+inline void poll_cancel(const CancelToken* token) {
+  if (token != nullptr) token->check();
+}
+
+}  // namespace nat::util

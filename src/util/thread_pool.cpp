@@ -6,7 +6,8 @@
 
 namespace nat::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : default_group_(std::make_shared<detail::GroupState>()) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -25,19 +26,51 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue(const std::shared_ptr<detail::GroupState>& group,
+                         std::function<void()> task) {
   {
     std::lock_guard lk(mu_);
     NAT_CHECK_MSG(!stop_, "submit after shutdown");
-    queue_.push(std::move(task));
+    {
+      // Count the task before it becomes runnable so a join started
+      // concurrently cannot miss it. Group mutexes are only ever taken
+      // while holding mu_ or holding nothing, so the nesting is safe.
+      std::lock_guard glk(group->mu);
+      ++group->pending;
+    }
+    queue_.emplace(group, std::move(task));
   }
   cv_task_.notify_one();
 }
 
-void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+void ThreadPool::Group::submit(std::function<void()> task) {
+  pool_.enqueue(state_, std::move(task));
 }
+
+namespace {
+
+void wait_group(detail::GroupState& state, bool rethrow) {
+  std::unique_lock lk(state.mu);
+  state.cv_done.wait(lk, [&state] { return state.pending == 0; });
+  if (!rethrow) return;
+  if (state.first_error) {
+    std::exception_ptr error = std::exchange(state.first_error, nullptr);
+    lk.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+void ThreadPool::Group::wait() { wait_group(*state_, /*rethrow=*/true); }
+
+ThreadPool::Group::~Group() { wait_group(*state_, /*rethrow=*/false); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  enqueue(default_group_, std::move(task));
+}
+
+void ThreadPool::wait_idle() { wait_group(*default_group_, /*rethrow=*/true); }
 
 namespace {
 thread_local bool tl_in_worker = false;
@@ -48,21 +81,38 @@ bool ThreadPool::in_worker() { return tl_in_worker; }
 void ThreadPool::worker_loop() {
   tl_in_worker = true;
   for (;;) {
+    std::shared_ptr<detail::GroupState> group;
     std::function<void()> task;
     {
       std::unique_lock lk(mu_);
       cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
+      group = std::move(queue_.front().first);
+      task = std::move(queue_.front().second);
       queue_.pop();
-      ++in_flight_;
     }
-    task();
+    bool skip;
     {
-      std::lock_guard lk(mu_);
-      --in_flight_;
+      std::lock_guard glk(group->mu);
+      skip = group->first_error != nullptr;
     }
-    cv_idle_.notify_all();
+    std::exception_ptr error;
+    if (!skip) {
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    // Destroy the task (and anything it captured) before signalling
+    // completion: a joiner may free captured state as soon as the
+    // group drains.
+    task = nullptr;
+    {
+      std::lock_guard glk(group->mu);
+      if (error && !group->first_error) group->first_error = std::move(error);
+      if (--group->pending == 0) group->cv_done.notify_all();
+    }
   }
 }
 
@@ -77,20 +127,21 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   NAT_CHECK(grain >= 1);
   if (begin >= end) return;
   // Single worker, tiny range, or nested call from inside a worker
-  // (submitting + wait_idle there would deadlock): run inline.
+  // (submitting + joining there would deadlock): run inline.
   if (pool.thread_count() == 1 || end - begin <= grain ||
       ThreadPool::in_worker()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+  ThreadPool::Group group(pool);
   for (std::size_t chunk = begin; chunk < end; chunk += grain) {
     const std::size_t lo = chunk;
     const std::size_t hi = std::min(end, chunk + grain);
-    pool.submit([lo, hi, &body] {
+    group.submit([lo, hi, &body] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
     });
   }
-  pool.wait_idle();
+  group.wait();
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,20 +1,50 @@
-// Fixed-size thread pool and a blocking parallel_for built on it.
+// Fixed-size thread pool with per-call completion groups and a blocking
+// parallel_for built on it.
 //
-// Experiment sweeps run many independent (instance, solver) cells; the
-// pool lets bench binaries saturate the machine while keeping results
+// Experiment sweeps and the batch service run many independent
+// (instance, solver) cells; the pool lets bench binaries and
+// service::solve_batch saturate the machine while keeping results
 // deterministic: work is partitioned by index, never by arrival order,
 // and each cell derives its RNG stream from its own index.
+//
+// Concurrency contract (see docs/SERVICE.md):
+//  * Tasks may throw. An exception leaving a task is captured; the
+//    first one (in completion order) is rethrown at the join point —
+//    Group::wait() for group submissions, wait_idle() for plain
+//    submit(). The pool itself never terminates and never leaks
+//    in-flight accounting on a throw.
+//  * Any number of threads may drive the same pool concurrently. Each
+//    Group (and each parallel_for call, which uses a private Group)
+//    tracks its own completion, so concurrent callers neither
+//    over-synchronize nor steal each other's join.
+//  * parallel_for called from inside a pool worker (nested
+//    parallelism) runs inline on the calling worker, so library code
+//    may use it without knowing its caller.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace nat::util {
+
+namespace detail {
+/// Shared completion state of one task group. Tasks hold a shared_ptr,
+/// so the state outlives the Group object that created it.
+struct GroupState {
+  std::mutex mu;
+  std::condition_variable cv_done;
+  std::size_t pending = 0;
+  std::exception_ptr first_error;
+};
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -27,27 +57,63 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  /// A per-call completion group: submit any number of tasks, then
+  /// wait() for exactly those tasks. Tasks that throw are captured;
+  /// wait() rethrows the first captured exception after every task of
+  /// the group has finished. Once a task of the group has thrown,
+  /// queued-but-unstarted tasks of the same group are skipped (they
+  /// still count as finished for wait()).
+  ///
+  /// The destructor blocks until the group's tasks are done (without
+  /// rethrowing), so a Group can be stack-allocated safely even when
+  /// submission itself throws.
+  class Group {
+   public:
+    explicit Group(ThreadPool& pool)
+        : pool_(pool), state_(std::make_shared<detail::GroupState>()) {}
+    ~Group();
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished, then rethrows
+    /// the first captured exception, if any (clearing it, so a reused
+    /// group starts clean).
+    void wait();
+
+   private:
+    ThreadPool& pool_;
+    std::shared_ptr<detail::GroupState> state_;
+  };
+
+  /// Enqueue a detached task on the pool-wide default group. Tasks may
+  /// throw; join with wait_idle(). Concurrent drivers should prefer a
+  /// private Group (or parallel_for) over the shared default group.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Blocks until every plain-submit() task has finished, then
+  /// rethrows the first exception captured since the last wait_idle().
   void wait_idle();
 
   /// True when the calling thread is a pool worker (of any pool).
   /// parallel_for uses this to run nested invocations inline instead
-  /// of deadlocking on wait_idle() from inside a task.
+  /// of deadlocking on a self-join from inside a task.
   static bool in_worker();
 
  private:
+  void enqueue(const std::shared_ptr<detail::GroupState>& group,
+               std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::pair<std::shared_ptr<detail::GroupState>,
+                       std::function<void()>>>
+      queue_;
   std::mutex mu_;
-  std::condition_variable cv_task_;   // signalled when work arrives / stop
-  std::condition_variable cv_idle_;   // signalled when a task completes
-  std::size_t in_flight_ = 0;
+  std::condition_variable cv_task_;  // signalled when work arrives / stop
   bool stop_ = false;
+  std::shared_ptr<detail::GroupState> default_group_;
 };
 
 /// Process-wide pool for experiment sweeps (created on first use).
@@ -55,9 +121,15 @@ ThreadPool& global_pool();
 
 /// Runs body(i) for i in [begin, end) across the pool and blocks until
 /// all iterations complete. `grain` iterations are batched per task to
-/// amortize queue overhead. Safe to call from one thread at a time per
-/// pool; called from inside a pool worker (nested parallelism) it runs
-/// inline, so library code may use it without knowing its caller.
+/// amortize queue overhead. Any number of threads may call this
+/// concurrently on the same pool; each call joins exactly its own
+/// iterations. Called from inside a pool worker (nested parallelism)
+/// it runs inline.
+///
+/// If body throws, the first exception is rethrown to the caller on
+/// both the pooled and the inline path; iterations scheduled after the
+/// failure may be skipped, and the call does not return before every
+/// started iteration has finished.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);

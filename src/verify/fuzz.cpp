@@ -31,25 +31,8 @@ class FaultScope {
   FaultScope& operator=(const FaultScope&) = delete;
 };
 
-/// Stable failure key from a CheckError message. Verify-layer failures
-/// ("verify[stage] ...") map to "verify:<stage>"; other NAT_CHECKs map
-/// to "check:<file>:<line>" so delta-debugging cannot silently morph
-/// one failure into a different one.
-std::string classify(const std::string& what) {
-  if (const std::size_t v = what.find("verify["); v != std::string::npos) {
-    const std::size_t end = what.find(']', v);
-    if (end != std::string::npos) {
-      return "verify:" + what.substr(v + 7, end - v - 7);
-    }
-  }
-  const std::size_t at = what.find(" at ");
-  if (at != std::string::npos) {
-    std::size_t end = what.find(" — ", at);
-    if (end == std::string::npos) end = what.size();
-    return "check:" + what.substr(at + 4, end - at - 4);
-  }
-  return "check:?";
-}
+// The stable failure key ("verify:<stage>" / "check:<file>:<line>")
+// lives in verify::classify_failure, shared with the batch service.
 
 /// ceil((9/5) * opt) in integers.
 std::int64_t nine_fifths_ceil(std::int64_t opt) { return (9 * opt + 4) / 5; }
@@ -205,7 +188,7 @@ std::pair<std::string, std::string> check_instance(
       }
     }
   } catch (const util::CheckError& e) {
-    return {classify(e.what()), e.what()};
+    return {classify_failure(e.what()), e.what()};
   }
   return {};
 }

@@ -492,4 +492,20 @@ void require(const char* stage, const std::string& report) {
   NAT_CHECK_MSG(report.empty(), "verify[" << stage << "] " << report);
 }
 
+std::string classify_failure(const std::string& what) {
+  if (const std::size_t v = what.find("verify["); v != std::string::npos) {
+    const std::size_t end = what.find(']', v);
+    if (end != std::string::npos) {
+      return "verify:" + what.substr(v + 7, end - v - 7);
+    }
+  }
+  const std::size_t at = what.find(" at ");
+  if (at != std::string::npos) {
+    std::size_t end = what.find(" — ", at);
+    if (end == std::string::npos) end = what.size();
+    return "check:" + what.substr(at + 4, end - at - 4);
+  }
+  return "check:?";
+}
+
 }  // namespace nat::verify

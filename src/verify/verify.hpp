@@ -107,4 +107,12 @@ std::string check_schedule(const at::Instance& instance,
 /// at.verify.failures and throws util::CheckError with the diagnostic.
 void require(const char* stage, const std::string& report);
 
+/// Stable failure key from a CheckError message (the taxonomy of
+/// docs/CORRECTNESS.md): verify-layer failures ("verify[stage] ...")
+/// map to "verify:<stage>"; other NAT_CHECKs map to
+/// "check:<file>:<line>". Shared by the differential fuzzer (so
+/// delta-debugging cannot silently morph one failure into another) and
+/// by service::solve_batch's per-cell error records.
+std::string classify_failure(const std::string& what);
+
 }  // namespace nat::verify

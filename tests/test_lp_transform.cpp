@@ -84,6 +84,63 @@ TEST_P(TransformSweep, Claim1Holds) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TransformSweep, ::testing::Range(0, 160));
 
+// Regression for the O(n^2) rescan: the transform used to rebuild and
+// sort the full descendant set of every positive node, which is
+// quadratic on deep forests. The single-postorder-pass rewrite must
+// handle a 50k-deep chain (and still land on the Lemma 3.1 fixed
+// point); the old code needed ~200 million subtree visits here and
+// would time the test out.
+TEST(PushDownTransform, DeepChainReachesFixedPointFast) {
+  const int kDepth = 20'000;
+  Instance inst;
+  inst.g = 1;
+  for (int k = 0; k < kDepth; ++k) {
+    inst.jobs.push_back({0, 2 * (k + 1), 1});
+  }
+  LaminarForest forest = LaminarForest::build(inst);
+  forest.canonicalize();
+  const int m = forest.num_nodes();
+  ASSERT_GE(m, kDepth);
+
+  // x-only transform: no y classes, all mass piled on the roots.
+  StrongLp lp;
+  FractionalSolution sol;
+  sol.x.assign(m, 0.0);
+  double before = 0.0;
+  for (int r : forest.roots()) {
+    sol.x[r] = static_cast<double>(forest.node(r).length()) / 2.0 + 0.25;
+    before += sol.x[r];
+  }
+
+  push_down_transform(forest, lp, sol);
+
+  double after = 0.0;
+  for (int i = 0; i < m; ++i) {
+    after += sol.x[i];
+    EXPECT_GE(sol.x[i], 0.0);
+    EXPECT_LE(sol.x[i], static_cast<double>(forest.node(i).length()) + 1e-6);
+  }
+  EXPECT_NEAR(before, after, 1e-4) << "mass must be conserved";
+
+  // Lemma 3.1 fixed point in O(n): bottom-up "whole subtree full"
+  // flags; a positive node must have every strict descendant full.
+  std::vector<char> subtree_full(m, 1);
+  for (int i : forest.postorder()) {
+    bool full =
+        std::abs(sol.x[i] - static_cast<double>(forest.node(i).length())) <=
+        1e-5;
+    for (int c : forest.node(i).children) full = full && subtree_full[c];
+    subtree_full[i] = full ? 1 : 0;
+    if (sol.x[i] > kFracEps) {
+      for (int c : forest.node(i).children) {
+        EXPECT_TRUE(subtree_full[c])
+            << "node " << i << " positive but child subtree " << c
+            << " not full";
+      }
+    }
+  }
+}
+
 TEST(PushDownTransform, NearEpsDrainLeavesNoStrandedAssignments) {
   // Regression: when a move drains x(i) to within kFracEps, the split
   // ratio must be exactly 1. Forming theta / x(i) against the

@@ -1,0 +1,211 @@
+// Fault isolation of the batch service layer: one poisoned cell must
+// become one structured record while its neighbors solve normally —
+// never a process abort, never a hang, never a leaked exception.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "service/batch.hpp"
+#include "util/check.hpp"
+
+namespace nat::service {
+namespace {
+
+std::string healthy_cell() {
+  // g=2, three jobs in nested windows; solves in microseconds.
+  return R"({"g": 2, "jobs": [[0, 4, 2], [0, 4, 2], [1, 3, 1]]})";
+}
+
+/// Deep chain of nested windows with slack everywhere: the exact B&B
+/// explores this for seconds (measured ~9 s unbounded), so a deadline
+/// of a few hundred ms reliably fires mid-search even on much faster
+/// hardware, while the healthy microsecond cells stay untouched.
+std::string slow_cell(int levels = 200) {
+  std::string jobs;
+  for (int k = 1; k <= levels; ++k) {
+    for (int i = 0; i < 3; ++i) {
+      if (!jobs.empty()) jobs += ",";
+      jobs += "[0," + std::to_string(5 * k) + ",2]";
+    }
+  }
+  return "{\"g\": 3, \"jobs\": [" + jobs + "]}";
+}
+
+BatchItem json_item(std::string id, std::string text) {
+  BatchItem item;
+  item.id = std::move(id);
+  item.text = std::move(text);
+  item.format = BatchItem::Format::kJson;
+  return item;
+}
+
+TEST(Service, ParseJsonInstanceRoundTrip) {
+  const at::Instance inst = parse_json_instance(healthy_cell());
+  EXPECT_EQ(inst.g, 2);
+  ASSERT_EQ(inst.num_jobs(), 3);
+  EXPECT_EQ(inst.jobs[2].release, 1);
+  EXPECT_EQ(inst.jobs[2].deadline, 3);
+  EXPECT_EQ(inst.jobs[2].processing, 1);
+}
+
+TEST(Service, ParseJsonInstanceRejectsGarbage) {
+  EXPECT_THROW(parse_json_instance("not json"), util::CheckError);
+  EXPECT_THROW(parse_json_instance("[1, 2]"), util::CheckError);
+  EXPECT_THROW(parse_json_instance(R"({"jobs": []})"), util::CheckError);
+  EXPECT_THROW(parse_json_instance(R"({"g": 1})"), util::CheckError);
+  EXPECT_THROW(parse_json_instance(R"({"g": 1, "jobs": [[0, 1]]})"),
+               util::CheckError);
+}
+
+// The PR's acceptance scenario: a batch with one infeasible, one
+// malformed, and one invalid cell completes with N-3 solved records and
+// 3 structured error records — no terminate, no hang, exit normal.
+TEST(Service, MixedBatchIsolatesEachFailure) {
+  std::vector<BatchItem> items;
+  const int kHealthy = 9;
+  for (int i = 0; i < kHealthy; ++i) {
+    items.push_back(json_item("ok-" + std::to_string(i), healthy_cell()));
+  }
+  // g=1 and two unit jobs in a one-slot window: structurally valid but
+  // infeasible.
+  items.insert(items.begin() + 2,
+               json_item("bad-infeasible",
+                         R"({"g": 1, "jobs": [[0, 1, 1], [0, 1, 1]]})"));
+  items.insert(items.begin() + 5, json_item("bad-parse", "{\"g\": 2,"));
+  items.insert(items.begin() + 8,
+               json_item("bad-validate", R"({"g": 1, "jobs": [[5, 2, 1]]})"));
+
+  BatchOptions options;
+  options.threads = 4;
+  int callbacks = 0;
+  const BatchReport report =
+      solve_batch(items, options, [&](const CellResult&) { ++callbacks; });
+
+  EXPECT_EQ(report.solved, kHealthy);
+  EXPECT_EQ(report.errors, 3);
+  EXPECT_EQ(report.timeouts, 0);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_EQ(callbacks, static_cast<int>(items.size()));
+  ASSERT_EQ(report.cells.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const CellResult& cell = report.cells[i];
+    EXPECT_EQ(cell.index, static_cast<int>(i));  // batch order preserved
+    EXPECT_EQ(cell.id, items[i].id);
+    if (cell.id == "bad-infeasible") {
+      EXPECT_EQ(cell.status, CellStatus::kError);
+      EXPECT_EQ(cell.failure_class, "infeasible");
+    } else if (cell.id == "bad-parse") {
+      EXPECT_EQ(cell.status, CellStatus::kError);
+      EXPECT_EQ(cell.failure_class, "input:parse");
+      EXPECT_EQ(cell.jobs, -1);  // never parsed
+    } else if (cell.id == "bad-validate") {
+      EXPECT_EQ(cell.status, CellStatus::kError);
+      EXPECT_EQ(cell.failure_class, "input:validate");
+    } else {
+      EXPECT_EQ(cell.status, CellStatus::kSolved);
+      EXPECT_EQ(cell.failure_class, "");
+      EXPECT_EQ(cell.active_slots, 3);  // all healthy cells are identical
+      EXPECT_FALSE(cell.error.empty() && cell.status != CellStatus::kSolved);
+    }
+    EXPECT_GT(cell.wall_ns, 0);
+  }
+}
+
+// A deadline fired mid-B&B yields a timeout record; the rest of the
+// batch is unaffected.
+TEST(Service, DeadlineMidSearchYieldsTimeoutRecord) {
+  std::vector<BatchItem> items;
+  items.push_back(json_item("fast-0", healthy_cell()));
+  items.push_back(json_item("slow", slow_cell()));
+  items.push_back(json_item("fast-1", healthy_cell()));
+
+  BatchOptions options;
+  options.solver = "exact";
+  options.timeout_ms = 300;
+  options.threads = 2;
+  const BatchReport report = solve_batch(items, options);
+
+  EXPECT_EQ(report.solved, 2);
+  EXPECT_EQ(report.timeouts, 1);
+  EXPECT_EQ(report.errors, 0);
+  const CellResult& slow = report.cells[1];
+  EXPECT_EQ(slow.status, CellStatus::kTimeout);
+  EXPECT_EQ(slow.failure_class, "timeout");
+  EXPECT_NE(slow.error.find("deadline"), std::string::npos);
+  // The deadline actually bounded the cell (unbounded solve is ~9 s;
+  // generous slack for slow CI between poll points).
+  EXPECT_LT(slow.wall_ns, 5'000'000'000LL);
+  EXPECT_EQ(report.cells[0].status, CellStatus::kSolved);
+  EXPECT_EQ(report.cells[2].status, CellStatus::kSolved);
+}
+
+TEST(Service, KeepGoingOffSkipsAfterFailure) {
+  // One worker => cells run in order; the failure at index 1 must mark
+  // every later cell skipped, with a record for each.
+  std::vector<BatchItem> items;
+  items.push_back(json_item("a", healthy_cell()));
+  items.push_back(json_item("boom", "{"));
+  items.push_back(json_item("b", healthy_cell()));
+  items.push_back(json_item("c", healthy_cell()));
+
+  BatchOptions options;
+  options.threads = 1;
+  options.keep_going = false;
+  const BatchReport report = solve_batch(items, options);
+
+  EXPECT_EQ(report.solved, 1);
+  EXPECT_EQ(report.errors, 1);
+  EXPECT_EQ(report.skipped, 2);
+  EXPECT_EQ(report.cells[2].status, CellStatus::kSkipped);
+  EXPECT_EQ(report.cells[2].failure_class, "skipped");
+  EXPECT_EQ(report.cells[3].status, CellStatus::kSkipped);
+}
+
+TEST(Service, NativeFormatAndSolverDispatch) {
+  BatchItem native;
+  native.id = "native";
+  native.format = BatchItem::Format::kNative;
+  native.text = "activetime v1\ng 2\njobs 2\n0 4 2\n1 3 1\n";
+  // Unreadable/empty native payloads fail as input:parse.
+  BatchItem empty;
+  empty.id = "empty";
+  empty.format = BatchItem::Format::kNative;
+
+  BatchOptions options;
+  options.solver = "greedy";
+  const BatchReport report = solve_batch({native, empty}, options);
+  EXPECT_EQ(report.cells[0].status, CellStatus::kSolved);
+  EXPECT_EQ(report.cells[0].solver, "greedy");
+  EXPECT_GT(report.cells[0].active_slots, 0);
+  EXPECT_EQ(report.cells[1].status, CellStatus::kError);
+  EXPECT_EQ(report.cells[1].failure_class, "input:parse");
+
+  BatchOptions bad;
+  bad.solver = "frobnicate";
+  EXPECT_THROW(solve_batch({native}, bad), util::CheckError);
+}
+
+TEST(Service, CellToJsonIsParseableAndEscaped) {
+  CellResult cell;
+  cell.index = 7;
+  cell.id = "weird \"id\"\nwith newline";
+  cell.status = CellStatus::kError;
+  cell.solver = "nested";
+  cell.failure_class = "input:parse";
+  cell.error = "quote \" backslash \\ done";
+  cell.wall_ns = 1'500'000;
+  const std::string line = cell_to_json(cell);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one JSONL line
+
+  const obs::Json j = obs::Json::parse(line);
+  EXPECT_EQ(j.find("index")->as_int(), 7);
+  EXPECT_EQ(j.find("status")->as_string(), "error");
+  EXPECT_EQ(j.find("id")->as_string(), cell.id);
+  EXPECT_EQ(j.find("error")->as_string(), cell.error);
+  EXPECT_EQ(j.find("jobs"), nullptr);  // unset fields are omitted
+}
+
+}  // namespace
+}  // namespace nat::service

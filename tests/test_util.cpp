@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -91,6 +97,154 @@ TEST(ParallelFor, EmptyAndSingleRanges) {
   EXPECT_EQ(calls, 0);
   parallel_for(5, 6, [&](std::size_t i) { EXPECT_EQ(i, 5u); ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+// Regression: a throwing task used to std::terminate the process (the
+// exception escaped worker_loop). Now it must be captured, rethrown at
+// the join, and leave the pool fully usable.
+TEST(ThreadPool, ThrowingTaskNeitherTerminatesNorHangs) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 4 == 0) throw std::runtime_error("task boom " + std::to_string(i));
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // In-flight accounting survived the throws: the pool still runs and
+  // joins new work, and the previous error does not resurface.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&after] { after.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, GroupWaitRethrowsFirstAndClears) {
+  ThreadPool pool(2);
+  ThreadPool::Group group(pool);
+  group.submit([] { throw CheckError("group boom"); });
+  EXPECT_THROW(group.wait(), CheckError);
+  // wait() cleared the error; the group is reusable.
+  std::atomic<int> count{0};
+  group.submit([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, GroupFailFastSkipsQueuedTasks) {
+  // One worker => FIFO: the first task's error is recorded before any
+  // later task starts, so every queued task of the group is skipped.
+  ThreadPool pool(1);
+  ThreadPool::Group group(pool);
+  std::atomic<int> ran{0};
+  group.submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 32; ++i) group.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, GroupsAreIndependent) {
+  // An error in one group must not leak into a concurrent group's join.
+  ThreadPool pool(4);
+  ThreadPool::Group bad(pool);
+  ThreadPool::Group good(pool);
+  std::atomic<int> count{0};
+  bad.submit([] { throw std::runtime_error("isolated"); });
+  for (int i = 0; i < 64; ++i) good.submit([&count] { count.fetch_add(1); });
+  good.wait();  // must not throw
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+}
+
+// Regression: the inline path (1 worker / tiny range / nested call)
+// and the pooled path must surface the same first exception to the
+// caller, not diverge into terminate-vs-throw.
+TEST(ParallelFor, ExceptionParityInlineVsPooled) {
+  const auto body = [](std::size_t i) {
+    if (i == 137) throw std::runtime_error("iteration 137 failed");
+  };
+  std::string inline_what, pooled_what;
+  ThreadPool one(1);  // forces the inline path
+  try {
+    parallel_for(one, 0, 500, body);
+  } catch (const std::runtime_error& e) {
+    inline_what = e.what();
+  }
+  ThreadPool four(4);  // pooled path
+  try {
+    parallel_for(four, 0, 500, body);
+  } catch (const std::runtime_error& e) {
+    pooled_what = e.what();
+  }
+  EXPECT_EQ(inline_what, "iteration 137 failed");
+  EXPECT_EQ(pooled_what, inline_what);
+}
+
+TEST(ParallelFor, ConcurrentCallersEachJoinTheirOwnIterations) {
+  // Several driver threads share one pool; each parallel_for call must
+  // join exactly its own iterations (per-call groups), including when a
+  // sibling caller's body throws.
+  ThreadPool pool(4);
+  constexpr int kDrivers = 6;
+  constexpr std::size_t kRange = 400;
+  std::vector<std::atomic<int>> hits(kDrivers * kRange);
+  std::atomic<int> throwers_caught{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int round = 0; round < 5; ++round) {
+        if (d == 0) {
+          // This driver always fails; its exception must stay local.
+          try {
+            parallel_for(pool, 0, kRange, [](std::size_t i) {
+              if (i == 17) throw std::runtime_error("driver 0");
+            });
+          } catch (const std::runtime_error&) {
+            throwers_caught.fetch_add(1);
+          }
+        } else {
+          parallel_for(pool, 0, kRange, [&, d](std::size_t i) {
+            hits[d * kRange + i].fetch_add(1);
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(throwers_caught.load(), 5);
+  for (int d = 1; d < kDrivers; ++d) {
+    for (std::size_t i = 0; i < kRange; ++i) {
+      EXPECT_EQ(hits[d * kRange + i].load(), 5)
+          << "driver " << d << " index " << i;
+    }
+  }
+}
+
+TEST(CancelToken, CancelAndCheck) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.check();  // no-op before cancellation
+  poll_cancel(nullptr);  // null token never fires
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), CancelledError);
+  EXPECT_THROW(poll_cancel(&token), CancelledError);
+}
+
+TEST(CancelToken, DeadlineFires) {
+  CancelToken token;
+  token.set_timeout_ms(0);  // non-positive = already expired
+  EXPECT_TRUE(token.deadline_armed());
+  EXPECT_THROW(token.check(), CancelledError);
+
+  CancelToken future;
+  future.set_deadline(std::chrono::steady_clock::now() +
+                      std::chrono::hours(1));
+  future.check();  // far-future deadline does not fire
+  // CancelledError is deliberately not a CheckError: classifiers must
+  // tell cancellation apart from invariant violations.
+  static_assert(!std::is_base_of_v<CheckError, CancelledError>);
 }
 
 TEST(Stopwatch, MeasuresForward) {
