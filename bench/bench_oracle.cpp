@@ -17,7 +17,6 @@
 #include <functional>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "activetime/feasibility.hpp"
@@ -182,10 +181,12 @@ int main(int argc, char** argv) {
   }
 
   obs::Json doc = obs::Json::object();
-  doc["schema"] = "nat-bench-oracle-v1";
+  // v2: cpu stamp replaces the top-level hardware_concurrency field
+  // (kept by write_bench_json under "cpu"), and the ceiling cells
+  // measure at::ceiling_lower_bounds — the production sweep — instead
+  // of an ad-hoc fixed-grain parallel_for.
+  doc["schema"] = "nat-bench-oracle-v2";
   doc["smoke"] = smoke;
-  doc["hardware_concurrency"] =
-      static_cast<std::int64_t>(std::thread::hardware_concurrency());
 
   // --- oracle replay: fresh vs incremental --------------------------------
   const std::vector<OracleCell> cells = {
@@ -309,16 +310,11 @@ int main(int argc, char** argv) {
       util::Stopwatch watch;
       for (int r = 0; r < reps; ++r) {
         for (std::size_t k = 0; k < forests.size(); ++k) {
-          const LaminarForest& f = forests[k];
-          const int m = f.num_nodes();
-          std::vector<int> lb(m);
-          // Same grain as the production sweep in lp_relaxation.cpp.
-          util::parallel_for(
-              pool, 0, static_cast<std::size_t>(m),
-              [&](std::size_t i) {
-                lb[i] = at::opt_lower_bound(f, static_cast<int>(i));
-              },
-              /*grain=*/16);
+          // The production sweep (adaptive grain, chunk-local arenas,
+          // serial fallback below its cutoff) — what lp_relaxation's
+          // strong-LP build actually runs.
+          const std::vector<int> lb =
+              at::ceiling_lower_bounds(forests[k], pool);
           NAT_CHECK_MSG(lb == serial_lb[k],
                         "pooled sweep diverged at " << workers << " workers");
         }
@@ -347,9 +343,6 @@ int main(int argc, char** argv) {
   ceiling_table.print_markdown(std::cout);
   doc["ceiling_cells"] = std::move(ceiling_json);
 
-  std::ofstream out(out_path);
-  NAT_CHECK_MSG(static_cast<bool>(out), "cannot open " << out_path);
-  out << doc.dump(2) << "\n";
-  std::cout << "\nwrote " << out_path << "\n";
+  bench::write_bench_json(doc, out_path);
   return 0;
 }

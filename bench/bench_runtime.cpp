@@ -16,6 +16,7 @@
 #include "instances/generators.hpp"
 #include "lp/bounded_simplex.hpp"
 #include "lp/dense_simplex.hpp"
+#include "lp/sparse_simplex.hpp"
 #include "util/rng.hpp"
 
 using namespace nat;
@@ -138,6 +139,19 @@ void BM_LpSolveBounded(benchmark::State& state) {
   state.SetLabel("rows=" + std::to_string(lp.model.num_rows()));
 }
 BENCHMARK(BM_LpSolveBounded)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LpSolveSparse(benchmark::State& state) {
+  const at::Instance inst = sized_instance(static_cast<int>(state.range(0)));
+  at::LaminarForest f = at::LaminarForest::build(inst);
+  f.canonicalize();
+  at::StrongLp lp = at::build_strong_lp(f);
+  for (auto _ : state) {
+    lp::Solution s = lp::solve_sparse(lp.model);
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.SetLabel("rows=" + std::to_string(lp.model.num_rows()));
+}
+BENCHMARK(BM_LpSolveSparse)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_TimeIndexedCwLp(benchmark::State& state) {
   const at::Instance inst =

@@ -8,7 +8,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "activetime/instance.hpp"
@@ -16,7 +19,9 @@
 #include "obs/counters.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nat::bench {
 
@@ -127,6 +132,74 @@ inline bool emit_cell_report(const std::string& bench,
   if (!out) return false;
   obs::write_report(out, summary);
   return true;
+}
+
+/// --- bench JSON output ---------------------------------------------------
+///
+/// Every BENCH_*.json carries a `cpu` stamp so readers (and the CI perf
+/// gate, tools/perf_gate.py) know what hardware produced the numbers:
+///
+///   "cpu": {"hardware_concurrency": N, "pool_workers": N}
+///
+/// Older documents (pre-stamp) carry at most a top-level
+/// `hardware_concurrency`; recorded_concurrency() reads both layouts.
+
+/// Hardware concurrency recorded in a bench document, or -1 when the
+/// document predates both the `cpu` stamp and the v1 top-level field.
+inline std::int64_t recorded_concurrency(const obs::Json& doc) {
+  if (const obs::Json* cpu = doc.find("cpu")) {
+    if (const obs::Json* hc = cpu->find("hardware_concurrency")) {
+      return hc->as_int();
+    }
+  }
+  if (const obs::Json* hc = doc.find("hardware_concurrency")) {
+    return hc->as_int();
+  }
+  return -1;
+}
+
+/// Stamps `doc` with the current cpu metadata and writes it to
+/// `out_path`.
+///
+/// Guard: seconds measured at one worker count are meaningless next to
+/// seconds measured at another, so if `out_path` already holds a bench
+/// document recorded at a *different* hardware concurrency, the write
+/// is refused (NAT_CHECK) instead of silently corrupting the perf
+/// trajectory. Set NAT_BENCH_ALLOW_CONCURRENCY_MISMATCH=1 to replace
+/// the file anyway (intentional re-baselining on new hardware).
+inline void write_bench_json(obs::Json& doc, const std::string& out_path) {
+  obs::Json cpu = obs::Json::object();
+  const std::int64_t hc =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  cpu["hardware_concurrency"] = hc;
+  cpu["pool_workers"] =
+      static_cast<std::int64_t>(util::global_pool().thread_count());
+  doc["cpu"] = std::move(cpu);
+
+  if (std::ifstream existing(out_path); existing) {
+    std::ostringstream buf;
+    buf << existing.rdbuf();
+    std::int64_t prev = -1;
+    try {
+      prev = recorded_concurrency(obs::Json::parse(buf.str()));
+    } catch (const std::exception&) {
+      prev = -1;  // unparseable / foreign file: overwrite freely
+    }
+    const char* allow = std::getenv("NAT_BENCH_ALLOW_CONCURRENCY_MISMATCH");
+    const bool allowed = allow != nullptr && std::string(allow) == "1";
+    NAT_CHECK_MSG(
+        prev < 0 || prev == hc || allowed,
+        out_path << " was recorded at hardware_concurrency=" << prev
+                 << " but this machine has " << hc
+                 << "; refusing to overwrite (seconds are not comparable"
+                    " across machines). Set"
+                    " NAT_BENCH_ALLOW_CONCURRENCY_MISMATCH=1 to re-baseline.");
+  }
+
+  std::ofstream out(out_path);
+  NAT_CHECK_MSG(static_cast<bool>(out), "cannot open " << out_path);
+  out << doc.dump(2) << "\n";
+  std::cout << "\nwrote " << out_path << "\n";
 }
 
 /// RunSummary prefilled with `instance`'s stats (outcome fields are

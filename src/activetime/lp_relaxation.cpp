@@ -7,7 +7,6 @@
 
 #include "activetime/opt_bounds.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace nat::at {
 
@@ -94,21 +93,12 @@ StrongLp build_strong_lp(const LaminarForest& forest,
 
   // Constraints (7)/(8): x(Des(i)) >= 2 when OPT_i >= 2, >= 3 when >= 3.
   // The per-node OPT_i separation (a flow probe per candidate pair,
-  // opt_bounds.cpp) dominates LP build time; the nodes are independent,
-  // so the sweep fans out across the pool — results land in a vector
-  // indexed by node, and the rows are added serially below, so the
-  // model is identical for every worker count.
+  // opt_bounds.cpp) dominates LP build time; ceiling_lower_bounds fans
+  // it out across the pool (serially below its cutoff) and is
+  // deterministic for every worker count, so the model is identical
+  // whether the sweep ran pooled or inline.
   if (options.ceiling_constraints) {
-    std::vector<int> lower(m, 1);
-    // Grain 16: per-node bounds are microseconds on warm subtrees, so
-    // chunking keeps pool dispatch overhead amortized; small forests
-    // (m <= grain) run inline.
-    util::parallel_for(
-        0, static_cast<std::size_t>(m),
-        [&](std::size_t i) {
-          lower[i] = opt_lower_bound(forest, static_cast<int>(i));
-        },
-        /*grain=*/16);
+    const std::vector<int> lower = ceiling_lower_bounds(forest);
     for (int i = 0; i < m; ++i) {
       const int lb = lower[i];
       if (lb < 2) continue;

@@ -6,8 +6,8 @@
 #include "activetime/lp_transform.hpp"
 #include "activetime/oracle.hpp"
 #include "activetime/rounding.hpp"
+#include "lp/backend.hpp"
 #include "lp/bounded_simplex.hpp"
-#include "lp/dense_simplex.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -95,7 +95,7 @@ NestedSolveResult solve_nested(const Instance& instance,
     lp::SolveOptions lp_options;
     lp_options.cancel = options.cancel;
     return options.bounded_lp_backend ? lp::solve_bounded(lp.model, lp_options)
-                                      : lp::solve(lp.model, lp_options);
+                                      : lp::solve_auto(lp.model, lp_options);
   }();
   NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
                 "strong LP did not solve: " << lp::to_string(lps.status));
@@ -206,7 +206,7 @@ double strong_lp_value(const Instance& instance,
   LaminarForest forest = LaminarForest::build(instance);
   forest.canonicalize();
   StrongLp lp = build_strong_lp(forest, options);
-  lp::Solution lps = lp::solve(lp.model);
+  lp::Solution lps = lp::solve_auto(lp.model);
   NAT_CHECK_MSG(lps.status == lp::Status::kOptimal,
                 "strong LP did not solve: " << lp::to_string(lps.status));
   return lps.objective;

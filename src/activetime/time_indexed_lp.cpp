@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "lp/backend.hpp"
 #include "util/check.hpp"
 
 namespace nat::at {
@@ -116,7 +117,7 @@ TimeIndexedLp build_time_indexed_lp(const Instance& instance,
 
 double natural_lp_value(const Instance& instance) {
   TimeIndexedLp lp = build_time_indexed_lp(instance, CeilingIntervals::kNone);
-  lp::Solution sol = lp::solve(lp.model);
+  lp::Solution sol = lp::solve_auto(lp.model);
   NAT_CHECK_MSG(sol.status == lp::Status::kOptimal,
                 "natural LP: " << lp::to_string(sol.status));
   return sol.objective;
@@ -124,7 +125,7 @@ double natural_lp_value(const Instance& instance) {
 
 double cw_lp_value(const Instance& instance, CeilingIntervals intervals) {
   TimeIndexedLp lp = build_time_indexed_lp(instance, intervals);
-  lp::Solution sol = lp::solve(lp.model);
+  lp::Solution sol = lp::solve_auto(lp.model);
   NAT_CHECK_MSG(sol.status == lp::Status::kOptimal,
                 "CW LP: " << lp::to_string(sol.status));
   return sol.objective;

@@ -8,7 +8,7 @@
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/tree.hpp"
 #include "baselines/greedy.hpp"
-#include "lp/bounded_simplex.hpp"
+#include "lp/backend.hpp"
 #include "util/check.hpp"
 
 namespace nat::at::baselines {
@@ -60,7 +60,7 @@ std::optional<LpBnbResult> exact_opt_lp_bnb(const Instance& instance,
                                    static_cast<double>(node.lo[i]),
                                    static_cast<double>(node.hi[i]));
     }
-    lp::Solution sol = lp::solve_bounded(lp.model);
+    lp::Solution sol = lp::solve_auto(lp.model);
     ++result.lp_solves;
     if (sol.status != lp::Status::kOptimal) continue;  // infeasible branch
     const std::int64_t lower =

@@ -1,0 +1,571 @@
+#include "lp/sparse_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+
+namespace nat::lp {
+
+namespace {
+
+constexpr double kInfU = std::numeric_limits<double>::infinity();
+// Entries below this are dropped when an eta is harvested: they are
+// numerical dust and would only bloat the eta file.
+constexpr double kDropTol = 1e-12;
+// A transformed pivot entry smaller than this triggers a fresh
+// refactorization before the pivot is accepted.
+constexpr double kUnstablePivot = 1e-7;
+// Refactorization cadence: whichever comes first of this many pivots
+// or the eta file outgrowing a small multiple of the row count.
+constexpr std::int64_t kRefactorInterval = 100;
+
+class SparseSimplex {
+ public:
+  Solution run(const Model& model, const SolveOptions& options,
+               SparseStats* stats) {
+    tol_ = options.tol;
+    feas_tol_ = options.feas_tol;
+    cancel_ = options.cancel;
+    build(model);
+    max_iterations_ = options.max_iterations >= 0
+                          ? options.max_iterations
+                          : 200 * static_cast<std::int64_t>(rows_ + cols_) +
+                                2000;
+    bland_after_ = 4 * static_cast<std::int64_t>(rows_ + cols_) + 200;
+
+    Solution sol;
+    Status st = phase1();
+    if (st == Status::kOptimal) {
+      st = phase2();
+    } else if (st == Status::kUnbounded) {
+      st = Status::kInfeasible;  // phase 1 is bounded below by 0
+    }
+    sol.status = st;
+    sol.iterations = iterations_;
+    if (st == Status::kOptimal) extract(model, sol);
+    stats_.eta_nonzeros = static_cast<std::int64_t>(eta_nnz_);
+    if (stats) *stats = stats_;
+    flush_counters();
+    return sol;
+  }
+
+ private:
+  struct VarMap {
+    int col_pos = -1;
+    int col_neg = -1;
+    double shift = 0.0;
+  };
+
+  /// One product-form update: the entering column after FTRAN,
+  /// split into the pivot entry and the other nonzeros.
+  struct Eta {
+    int prow = -1;
+    double pivot = 0.0;
+    std::vector<std::pair<int, double>> rest;  // (row, value), row != prow
+  };
+
+  // --- standardization -----------------------------------------------------
+  // Identical semantics to lp/bounded_simplex.cpp (shift lower bounds,
+  // split free variables, normalize rhs >= 0, slack for inequalities,
+  // artificial where no +1 slack can start the basis), but the matrix
+  // lands in CSC instead of a dense tableau.
+  void build(const Model& model) {
+    varmap_.assign(model.num_variables(), VarMap{});
+    std::vector<double> ub;
+    int next = 0;
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const Variable& v = model.variable(i);
+      VarMap& vm = varmap_[i];
+      if (std::isfinite(v.lower)) {
+        vm.shift = v.lower;
+        vm.col_pos = next++;
+        ub.push_back(std::isfinite(v.upper) ? v.upper - v.lower : kInfU);
+      } else {
+        NAT_CHECK_MSG(!std::isfinite(v.upper),
+                      "free variable with finite upper bound unsupported");
+        vm.col_pos = next++;
+        vm.col_neg = next++;
+        ub.push_back(kInfU);
+        ub.push_back(kInfU);
+      }
+    }
+    structural_ = next;
+    rows_ = static_cast<std::size_t>(model.num_rows());
+
+    // Per-row standardized coefficients, duplicates merged sparsely.
+    struct StdRow {
+      double rhs = 0.0;
+      std::vector<std::pair<int, double>> coeffs;  // sorted by column
+      double slack_sign = 0.0;                     // 0 for equality
+    };
+    std::vector<StdRow> srows(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const Row& row = model.row(static_cast<int>(r));
+      StdRow& sr = srows[r];
+      sr.rhs = row.rhs;
+      auto& cs = sr.coeffs;
+      for (const auto& [var, coeff] : row.coeffs) {
+        const VarMap& vm = varmap_[var];
+        sr.rhs -= coeff * vm.shift;
+        cs.push_back({vm.col_pos, coeff});
+        if (vm.col_neg >= 0) cs.push_back({vm.col_neg, -coeff});
+      }
+      std::sort(cs.begin(), cs.end());
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < cs.size();) {
+        double sum = cs[k].second;
+        std::size_t k2 = k + 1;
+        while (k2 < cs.size() && cs[k2].first == cs[k].first) {
+          sum += cs[k2++].second;
+        }
+        if (sum != 0.0) cs[w++] = {cs[k].first, sum};
+        k = k2;
+      }
+      cs.resize(w);
+
+      Sense sense = row.sense;
+      if (sr.rhs < 0.0) {
+        sr.rhs = -sr.rhs;
+        for (auto& [c, v] : cs) v = -v;
+        if (sense == Sense::kLe) sense = Sense::kGe;
+        else if (sense == Sense::kGe) sense = Sense::kLe;
+      }
+      if (sense == Sense::kLe) sr.slack_sign = 1.0;
+      else if (sense == Sense::kGe) sr.slack_sign = -1.0;
+    }
+
+    // Column layout: [structural | slacks | artificials]. A +1 slack
+    // starts the basis of its row; -1 slacks and equalities get an
+    // artificial.
+    int n_slack = 0, n_art = 0;
+    for (const StdRow& sr : srows) {
+      if (sr.slack_sign != 0.0) ++n_slack;
+      if (sr.slack_sign <= 0.0) ++n_art;
+    }
+    art_begin_ = static_cast<std::size_t>(structural_ + n_slack);
+    cols_ = art_begin_ + static_cast<std::size_t>(n_art);
+    ub.resize(cols_, kInfU);
+    ub_ = std::move(ub);
+
+    // CSC assembly: structural columns from the rows, then the unit
+    // slack/artificial columns.
+    std::vector<int> col_nnz(cols_, 0);
+    for (const StdRow& sr : srows) {
+      for (const auto& [c, v] : sr.coeffs) {
+        (void)v;
+        ++col_nnz[c];
+      }
+    }
+    int slack = structural_;
+    int art = static_cast<int>(art_begin_);
+    slack_col_.assign(rows_, -1);
+    art_col_.assign(rows_, -1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (srows[r].slack_sign != 0.0) {
+        slack_col_[r] = slack;
+        ++col_nnz[slack++];
+      }
+      if (srows[r].slack_sign <= 0.0) {
+        art_col_[r] = art;
+        ++col_nnz[art++];
+      }
+    }
+    col_ptr_.assign(cols_ + 1, 0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      col_ptr_[j + 1] = col_ptr_[j] + col_nnz[j];
+    }
+    col_row_.assign(static_cast<std::size_t>(col_ptr_[cols_]), 0);
+    col_val_.assign(col_row_.size(), 0.0);
+    std::vector<int> fill(col_ptr_.begin(), col_ptr_.end() - 1);
+    b_.assign(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      b_[r] = srows[r].rhs;
+      for (const auto& [c, v] : srows[r].coeffs) {
+        col_row_[fill[c]] = static_cast<int>(r);
+        col_val_[fill[c]++] = v;
+      }
+      if (slack_col_[r] >= 0) {
+        col_row_[fill[slack_col_[r]]] = static_cast<int>(r);
+        col_val_[fill[slack_col_[r]]++] = srows[r].slack_sign;
+      }
+      if (art_col_[r] >= 0) {
+        col_row_[fill[art_col_[r]]] = static_cast<int>(r);
+        col_val_[fill[art_col_[r]]++] = 1.0;
+      }
+    }
+
+    // Initial basis: +1 slack where available, artificial otherwise;
+    // the basis matrix is the identity, so the eta file starts empty.
+    basis_.assign(rows_, -1);
+    basic_.assign(cols_, false);
+    at_upper_.assign(cols_, false);
+    beta_ = b_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const int bcol = srows[r].slack_sign > 0.0 ? slack_col_[r] : art_col_[r];
+      basis_[r] = bcol;
+      basic_[bcol] = true;
+    }
+
+    cost_.assign(cols_, 0.0);
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const double c = model.variable(i).objective;
+      if (c == 0.0) continue;
+      cost_[varmap_[i].col_pos] += c;
+      if (varmap_[i].col_neg >= 0) cost_[varmap_[i].col_neg] -= c;
+    }
+
+    etas_.clear();
+    eta_nnz_ = 0;
+    pivots_since_refactor_ = 0;
+    iterations_ = 0;
+    use_bland_ = false;
+    stats_ = SparseStats{};
+    work_.assign(rows_, 0.0);
+    duals_.assign(rows_, 0.0);
+  }
+
+  // --- eta-file basis inverse ---------------------------------------------
+
+  /// In-place v <- B^{-1} v.
+  void ftran(std::vector<double>& v) const {
+    for (const Eta& e : etas_) {
+      const double t = v[e.prow];
+      if (t == 0.0) continue;
+      const double s = t / e.pivot;
+      v[e.prow] = s;
+      for (const auto& [i, a] : e.rest) v[i] -= a * s;
+    }
+  }
+
+  /// In-place y^T <- y^T B^{-1}.
+  void btran(std::vector<double>& y) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = y[it->prow];
+      for (const auto& [i, a] : it->rest) acc -= a * y[i];
+      y[it->prow] = acc / it->pivot;
+    }
+  }
+
+  /// Harvests an eta from the FTRAN'd column `w` with pivot row `prow`
+  /// and pushes it onto the file.
+  void append_eta(const std::vector<double>& w, std::size_t prow) {
+    Eta e;
+    e.prow = static_cast<int>(prow);
+    e.pivot = w[prow];
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == prow) continue;
+      if (std::abs(w[r]) > kDropTol) e.rest.push_back({static_cast<int>(r),
+                                                       w[r]});
+    }
+    eta_nnz_ += e.rest.size() + 1;
+    etas_.push_back(std::move(e));
+  }
+
+  void load_column(std::size_t j, std::vector<double>& v) const {
+    std::fill(v.begin(), v.end(), 0.0);
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      v[col_row_[k]] = col_val_[k];
+    }
+  }
+
+  double column_dot(std::size_t j, const std::vector<double>& y) const {
+    double d = 0.0;
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      d += col_val_[k] * y[col_row_[k]];
+    }
+    return d;
+  }
+
+  /// Re-inverts the current basis from its columns: the eta file is
+  /// rebuilt by driving the basis columns in one by one (product-form
+  /// Gaussian elimination), choosing each pivot row by largest
+  /// magnitude among the rows not yet assigned (partial pivoting).
+  /// Columns are processed sparsest-first — the bases here are close to
+  /// triangular, so this ordering keeps the fill (and therefore every
+  /// later FTRAN/BTRAN) near the nonzero count of the basis itself.
+  /// Basic values are recomputed from scratch afterwards, which also
+  /// resets accumulated floating-point drift.
+  void refactorize() {
+    etas_.clear();
+    eta_nnz_ = 0;
+    pivots_since_refactor_ = 0;
+    ++stats_.refactorizations;
+
+    std::vector<int> order(basis_);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int na = col_ptr_[a + 1] - col_ptr_[a];
+      const int nb = col_ptr_[b + 1] - col_ptr_[b];
+      return na != nb ? na < nb : a < b;
+    });
+    std::vector<char> row_done(rows_, 0);
+    for (int j : order) {
+      load_column(static_cast<std::size_t>(j), work_);
+      ftran(work_);
+      std::ptrdiff_t prow = -1;
+      double best = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (row_done[r]) continue;
+        const double a = std::abs(work_[r]);
+        if (a > best) {
+          best = a;
+          prow = static_cast<std::ptrdiff_t>(r);
+        }
+      }
+      NAT_CHECK_MSG(prow >= 0 && best > kDropTol,
+                    "sparse simplex: basis singular during refactorization");
+      append_eta(work_, static_cast<std::size_t>(prow));
+      row_done[prow] = 1;
+      basis_[prow] = j;
+    }
+    recompute_beta();
+  }
+
+  /// beta <- B^{-1} (b - A_N x_N) with nonbasics at their bounds.
+  void recompute_beta() {
+    std::vector<double>& v = beta_;
+    v = b_;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (basic_[j] || !at_upper_[j]) continue;
+      const double u = ub_[j];
+      if (!std::isfinite(u) || u == 0.0) continue;
+      for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+        v[col_row_[k]] -= u * col_val_[k];
+      }
+    }
+    ftran(v);
+  }
+
+  // --- iteration -----------------------------------------------------------
+
+  template <class Allow>
+  Status iterate(const std::vector<double>& cost, const Allow& allow) {
+    for (;;) {
+      util::poll_cancel(cancel_);
+      if (iterations_ >= max_iterations_) return Status::kIterLimit;
+      if (!use_bland_ && iterations_ >= bland_after_) use_bland_ = true;
+      if (pivots_since_refactor_ >= kRefactorInterval ||
+          eta_nnz_ > 8 * rows_ + 512) {
+        refactorize();
+      }
+
+      // BTRAN the basic costs into duals, then price every nonbasic
+      // column with one sparse dot product.
+      std::fill(duals_.begin(), duals_.end(), 0.0);
+      for (std::size_t r = 0; r < rows_; ++r) duals_[r] = cost[basis_[r]];
+      btran(duals_);
+
+      std::ptrdiff_t enter = -1;
+      bool decreasing = false;  // entering from its upper bound
+      double best = 0.0;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (!allow(j) || basic_[j]) continue;
+        if (ub_[j] <= tol_) continue;  // fixed at 0
+        const double d = cost[j] - column_dot(j, duals_);
+        const bool improving = at_upper_[j] ? d > tol_ : d < -tol_;
+        if (!improving) continue;
+        if (use_bland_) {
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+          break;
+        }
+        const double score = std::abs(d);
+        if (score > best) {
+          best = score;
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+        }
+      }
+      if (enter < 0) return Status::kOptimal;
+      const std::size_t j = static_cast<std::size_t>(enter);
+
+      load_column(j, work_);
+      ftran(work_);
+
+      // Bounded ratio test (same rules and tie-breaks as the bounded
+      // dense backend): moving the entering variable by t, basic
+      // values move along -t * sign * w.
+      const double sign = decreasing ? -1.0 : 1.0;
+      double limit = ub_[j];  // own bound: ends in a flip
+      std::ptrdiff_t leave = -1;
+      bool leave_at_upper = false;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = sign * work_[r];
+        double cap = kInfU;
+        bool blocks_at_upper = false;
+        if (a > tol_) {
+          cap = beta_[r] / a;  // basic hits its lower bound 0
+        } else if (a < -tol_) {
+          const double u = ub_[basis_[r]];
+          if (std::isfinite(u)) {
+            cap = (u - beta_[r]) / (-a);
+            blocks_at_upper = true;
+          }
+        }
+        if (cap < limit - tol_ ||
+            (cap < limit + tol_ && leave >= 0 && basis_[r] < basis_[leave])) {
+          if (cap <= limit + tol_) {
+            limit = std::max(cap, 0.0);
+            leave = static_cast<std::ptrdiff_t>(r);
+            leave_at_upper = blocks_at_upper;
+          }
+        }
+      }
+      if (!std::isfinite(limit)) return Status::kUnbounded;
+
+      if (leave < 0) {
+        // Bound flip: no basis change, no eta.
+        NAT_DCHECK(std::isfinite(ub_[j]));
+        for (std::size_t r = 0; r < rows_; ++r) {
+          beta_[r] -= ub_[j] * sign * work_[r];
+        }
+        at_upper_[j] = !at_upper_[j];
+        ++iterations_;
+        ++stats_.bound_flips;
+        continue;
+      }
+
+      const std::size_t prow = static_cast<std::size_t>(leave);
+      if (std::abs(work_[prow]) < kUnstablePivot && !etas_.empty()) {
+        // The transformed pivot is numerically shaky and the eta file
+        // is stale; re-invert and redo the iteration from fresh duals.
+        refactorize();
+        continue;
+      }
+
+      for (std::size_t r = 0; r < rows_; ++r) {
+        beta_[r] -= limit * sign * work_[r];
+      }
+      const int leaving = basis_[prow];
+      at_upper_[leaving] = leave_at_upper;
+      basic_[leaving] = false;
+      append_eta(work_, prow);
+      basis_[prow] = static_cast<int>(j);
+      basic_[j] = true;
+      at_upper_[j] = false;
+      beta_[prow] = decreasing ? ub_[j] - limit : limit;
+      ++iterations_;
+      ++stats_.pivots;
+      ++pivots_since_refactor_;
+      if (limit <= tol_) ++stats_.degenerate;
+    }
+  }
+
+  Status phase1() {
+    std::vector<double> cost1(cols_, 0.0);
+    bool any_art = false;
+    for (std::size_t j = art_begin_; j < cols_; ++j) {
+      cost1[j] = 1.0;
+      any_art = true;
+    }
+    if (!any_art) return Status::kOptimal;  // slack basis is feasible
+    Status st = iterate(cost1, [](std::size_t) { return true; });
+    if (st != Status::kOptimal) return st;
+    double p1 = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (static_cast<std::size_t>(basis_[r]) >= art_begin_) {
+        p1 += std::max(0.0, beta_[r]);
+      }
+    }
+    for (std::size_t j = art_begin_; j < cols_; ++j) {
+      if (!basic_[j] && at_upper_[j]) p1 += ub_[j];
+    }
+    if (p1 > feas_tol_) return Status::kInfeasible;
+    return Status::kOptimal;
+  }
+
+  Status phase2() {
+    // Artificials are pinned to zero instead of being driven out: a
+    // basic artificial (redundant row) stays at level 0 forever — the
+    // ratio test blocks any move that would change it, and the entering
+    // filter keeps nonbasic ones out. No row deletion is needed in
+    // revised form.
+    for (std::size_t j = art_begin_; j < cols_; ++j) {
+      ub_[j] = 0.0;
+      at_upper_[j] = false;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (static_cast<std::size_t>(basis_[r]) >= art_begin_ &&
+          std::abs(beta_[r]) <= feas_tol_) {
+        beta_[r] = 0.0;
+      }
+    }
+    const std::size_t ab = art_begin_;
+    return iterate(cost_, [ab](std::size_t j) { return j < ab; });
+  }
+
+  void extract(const Model& model, Solution& sol) {
+    std::vector<double> xs(cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (!basic_[j] && at_upper_[j] && std::isfinite(ub_[j])) xs[j] = ub_[j];
+    }
+    for (std::size_t r = 0; r < rows_; ++r) xs[basis_[r]] = beta_[r];
+    sol.x.assign(model.num_variables(), 0.0);
+    sol.objective = 0.0;
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const VarMap& vm = varmap_[i];
+      double v = vm.shift + xs[vm.col_pos];
+      if (vm.col_neg >= 0) v -= xs[vm.col_neg];
+      sol.x[i] = v;
+      sol.objective += model.variable(i).objective * v;
+    }
+  }
+
+  void flush_counters() const {
+    static obs::Counter& c_solves = obs::counter("lp.sparse.solves");
+    static obs::Counter& c_pivots = obs::counter("lp.sparse.pivots");
+    static obs::Counter& c_flips = obs::counter("lp.sparse.bound_flips");
+    static obs::Counter& c_degen = obs::counter("lp.sparse.degenerate");
+    static obs::Counter& c_refac = obs::counter("lp.sparse.refactorizations");
+    c_solves.add(1);
+    c_pivots.add(stats_.pivots);
+    c_flips.add(stats_.bound_flips);
+    c_degen.add(stats_.degenerate);
+    c_refac.add(stats_.refactorizations);
+  }
+
+  // Standardized problem (CSC).
+  std::vector<int> col_ptr_, col_row_;
+  std::vector<double> col_val_;
+  std::vector<int> slack_col_, art_col_;  // per row; -1 when absent
+  std::vector<double> b_;                 // standardized rhs
+  std::vector<double> ub_;                // per column; lower bound is 0
+  std::vector<double> cost_;              // phase-2 costs
+  std::vector<VarMap> varmap_;
+  std::size_t rows_ = 0, cols_ = 0, art_begin_ = 0;
+  int structural_ = 0;
+
+  // Basis state.
+  std::vector<Eta> etas_;
+  std::size_t eta_nnz_ = 0;
+  std::int64_t pivots_since_refactor_ = 0;
+  std::vector<int> basis_;
+  std::vector<bool> basic_;
+  std::vector<bool> at_upper_;
+  std::vector<double> beta_;
+
+  // Scratch.
+  std::vector<double> work_, duals_;
+
+  double tol_ = 1e-9, feas_tol_ = 1e-7;
+  std::int64_t iterations_ = 0, max_iterations_ = 0, bland_after_ = 0;
+  bool use_bland_ = false;
+  const util::CancelToken* cancel_ = nullptr;
+  SparseStats stats_;
+};
+
+}  // namespace
+
+Solution solve_sparse(const Model& model, const SolveOptions& options,
+                      SparseStats* stats) {
+  SparseSimplex solver;
+  return solver.run(model, options, stats);
+}
+
+}  // namespace nat::lp

@@ -1,0 +1,50 @@
+// Sparse revised simplex (bounded variables, product-form inverse).
+//
+// The third floating-point backend, and the default for every LP hot
+// path in this repository (see lp/backend.hpp for the NAT_LP_BACKEND
+// switch). The LP (1) constraint matrix is tree-structured and
+// extremely sparse — coverage, capacity, per-job-cap, and ceiling rows
+// each touch a handful of the columns — so the dense tableau backends
+// pay O(rows · cols) per pivot for arithmetic that is almost entirely
+// zeros. This backend stores the standardized matrix in CSC form and
+// keeps the basis inverse as an eta file (product-form updates in the
+// Bartels–Golub tradition: one eta per pivot, periodic refactorization
+// from the basis columns with partial pivoting), so one iteration costs
+//   BTRAN + pricing       O(nnz(eta file) + nnz(A))
+//   FTRAN + ratio test    O(nnz(eta file) + rows)
+// instead of the dense backends' O(rows · cols) elimination.
+//
+// Shares the bounded-variable machinery with lp/bounded_simplex.*:
+// nonbasic variables sit at either bound, the ratio test can end in a
+// bound flip without a pivot, and no `x <= u` rows are materialized.
+// Pricing is Dantzig with a permanent Bland fallback after a stall
+// threshold (finite termination on degenerate/cycling-prone LPs).
+// Differentially tested against the dense and bounded backends on the
+// LP corpus and random sweeps (tests/test_sparse_simplex.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "lp/dense_simplex.hpp"
+#include "lp/model.hpp"
+
+namespace nat::lp {
+
+/// Deterministic per-solve statistics (also accumulated into the
+/// lp.sparse.* obs counters; the struct exists so benches and tests can
+/// read one solve's numbers without diffing the global registry).
+struct SparseStats {
+  std::int64_t pivots = 0;
+  std::int64_t bound_flips = 0;
+  std::int64_t degenerate = 0;
+  std::int64_t refactorizations = 0;
+  std::int64_t eta_nonzeros = 0;  // eta-file size at termination
+};
+
+/// Solves `model` (minimization) with the sparse revised simplex.
+/// Status/objective agree with lp::solve and lp::solve_bounded up to
+/// tolerances.
+Solution solve_sparse(const Model& model, const SolveOptions& options = {},
+                      SparseStats* stats = nullptr);
+
+}  // namespace nat::lp

@@ -243,7 +243,7 @@ TEST(Report, GoldenKeysOnCorpusInstance) {
   EXPECT_EQ(resolve(report, "run/active_slots")->as_int(), r.active_slots);
   EXPECT_NEAR(resolve(report, "run/lp_objective")->as_double(), r.lp_value,
               1e-9);
-  EXPECT_GT(resolve(report, "counters/lp.dense.pivots")->as_int(), 0);
+  EXPECT_GT(resolve(report, "counters/lp.sparse.pivots")->as_int(), 0);
   EXPECT_GT(resolve(report, "counters/flow.dinic.aug_paths")->as_int(), 0);
 
   // Per-stage spans are present and the lp_solve span nests under the
