@@ -1,0 +1,304 @@
+// bench_delta — incremental delta re-solves vs from-scratch solves.
+//
+// Each cell builds a multi-group rolling instance (>= 200 jobs even in
+// --smoke), precomputes a stream of safe single-job deltas (add /
+// remove / extend / shrink), and then pays for the stream twice:
+//
+//  * incremental: one persistent SolverSession absorbing the deltas —
+//    per-group caching plus the warm-started sparse simplex
+//    (docs/INCREMENTAL.md);
+//  * scratch: a fresh SolverSession built and solved on every post-
+//    delta instance, the cost an engine without sessions would pay.
+//
+// The determinism contract is re-asserted while timing: every step's
+// incremental schedule must be bit-identical to the scratch schedule
+// (assignment vectors compared verbatim, not just costs). Results land
+// in BENCH_delta.json (--out) for the CI perf gate, which enforces a
+// floor on the geometric-mean speedup (tools/perf_gate.py,
+// docs/PERFORMANCE.md).
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "activetime/feasibility.hpp"
+#include "activetime/session.hpp"
+#include "bench/common.hpp"
+#include "io/table.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace nat;
+
+namespace {
+
+/// Multi-group instance: contended clusters shifted apart in time until
+/// the job floor is met (same construction as tests/test_session.cpp).
+at::Instance make_rolling(int min_jobs, int seed, std::int64_t g) {
+  at::Instance out;
+  out.g = g;
+  at::Time offset = 0;
+  for (int b = 0; static_cast<int>(out.jobs.size()) < min_jobs; ++b) {
+    at::gen::ContendedParams params;
+    params.g = g;
+    params.min_groups = 2;
+    params.max_groups = 3;
+    params.max_long_jobs = 1;
+    util::Rng rng(1000 * seed + b);
+    at::Instance batch = at::gen::random_contended(params, rng);
+    at::Time hi = 0;
+    for (at::Job j : batch.jobs) {
+      j.release += offset;
+      j.deadline += offset;
+      hi = std::max(hi, j.deadline);
+      out.jobs.push_back(j);
+    }
+    offset = hi + 2;
+  }
+  return out;
+}
+
+bool all_open_feasible(const at::Instance& instance) {
+  if (instance.jobs.empty()) return true;
+  const at::Interval h = instance.horizon();
+  std::vector<at::Time> slots;
+  slots.reserve(static_cast<std::size_t>(h.length()));
+  for (at::Time t = h.lo; t < h.hi; ++t) slots.push_back(t);
+  return at::feasible_with_slots(instance, slots);
+}
+
+/// Applies `delta` to a copy of `instance`; empty when the result would
+/// be invalid, non-laminar, or infeasible.
+std::optional<at::Instance> after_delta(const at::Instance& instance,
+                                        const at::Delta& delta) {
+  at::Instance cand = instance;
+  try {
+    if (const auto* a = std::get_if<at::AddJob>(&delta)) {
+      cand.jobs.push_back(a->job);
+    } else if (const auto* r = std::get_if<at::RemoveJob>(&delta)) {
+      if (r->job < 0 || r->job >= static_cast<int>(cand.jobs.size())) {
+        return std::nullopt;
+      }
+      cand.jobs.erase(cand.jobs.begin() + r->job);
+    } else if (const auto* e = std::get_if<at::ExtendWindow>(&delta)) {
+      at::Job& j = cand.jobs.at(static_cast<std::size_t>(e->job));
+      if (e->window.lo > j.release || e->window.hi < j.deadline) {
+        return std::nullopt;
+      }
+      j.release = e->window.lo;
+      j.deadline = e->window.hi;
+    } else if (const auto* s = std::get_if<at::ShrinkWindow>(&delta)) {
+      at::Job& j = cand.jobs.at(static_cast<std::size_t>(s->job));
+      if (s->window.lo < j.release || s->window.hi > j.deadline ||
+          s->window.length() < j.processing) {
+        return std::nullopt;
+      }
+      j.release = s->window.lo;
+      j.deadline = s->window.hi;
+    }
+    cand.validate();
+  } catch (const util::CheckError&) {
+    return std::nullopt;
+  }
+  if (!cand.is_laminar() || cand.jobs.empty() || !all_open_feasible(cand)) {
+    return std::nullopt;
+  }
+  return cand;
+}
+
+std::optional<at::Delta> propose_delta(const at::Instance& instance,
+                                       util::Rng& rng) {
+  const int n = static_cast<int>(instance.jobs.size());
+  if (n == 0) return std::nullopt;
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  const int pick = static_cast<int>(rng.uniform_int(0, n - 1));
+  const at::Job& j = instance.jobs[static_cast<std::size_t>(pick)];
+  switch (kind) {
+    case 0: {
+      at::Job add = j;
+      add.processing =
+          rng.uniform_int(1, std::max<at::Time>(1, j.window().length()));
+      return at::AddJob{add};
+    }
+    case 1:
+      return at::RemoveJob{pick};
+    case 2: {
+      at::Interval w = j.window();
+      w.lo -= rng.uniform_int(0, 2);
+      w.hi += rng.uniform_int(0, 2);
+      return at::ExtendWindow{pick, w};
+    }
+    default: {
+      at::Interval w = j.window();
+      const at::Time slack = w.length() - j.processing;
+      if (slack <= 0) return std::nullopt;
+      const at::Time cut_lo = rng.uniform_int(0, slack);
+      const at::Time cut_hi = rng.uniform_int(0, slack - cut_lo);
+      return at::ShrinkWindow{pick,
+                              at::Interval{w.lo + cut_lo, w.hi - cut_hi}};
+    }
+  }
+}
+
+struct CellSpec {
+  std::string name;
+  int min_jobs = 200;
+  std::int64_t g = 3;
+  int seed = 7;
+  int steps = 30;
+};
+
+struct StepResult {
+  std::vector<int> assignment_jobs;  // flattened schedule fingerprint
+  std::vector<at::Time> assignment_slots;
+  std::int64_t active_slots = 0;
+};
+
+StepResult fingerprint(const at::SessionResult& r) {
+  StepResult out;
+  out.active_slots = r.active_slots;
+  for (std::size_t j = 0; j < r.schedule.assignment.size(); ++j) {
+    for (at::Time t : r.schedule.assignment[j]) {
+      out.assignment_jobs.push_back(static_cast<int>(j));
+      out.assignment_slots.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_delta.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && a + 1 < argc) out_path = argv[++a];
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "nat-bench-delta-v1";
+  doc["smoke"] = smoke;
+
+  std::cout << "# bench_delta — persistent sessions vs from-scratch"
+               " re-solves\n\n"
+            << "Single-job delta streams over multi-group instances;"
+               " schedules asserted\nbit-identical between the incremental"
+               " and scratch paths at every step.\n\n";
+
+  // --smoke trims the stream length, never the instance size: the >=200
+  // job floor is what makes the speedup structural (many clean groups
+  // per delta) instead of an artifact of tiny LPs.
+  std::vector<CellSpec> specs = {
+      {"rolling contended (g=3)", 200, 3, 7, smoke ? 8 : 30},
+      {"rolling contended (g=2)", 240, 2, 11, smoke ? 6 : 24},
+  };
+  if (!smoke) specs.push_back({"rolling contended wide (g=4)", 320, 4, 13, 20});
+
+  io::Table table({"cell", "jobs", "groups", "steps", "incremental s",
+                   "scratch s", "speedup", "warm", "cold"});
+  obs::Json cells_json = obs::Json::array();
+  double log_speedup_sum = 0.0;
+
+  for (const CellSpec& spec : specs) {
+    const at::Instance initial =
+        make_rolling(spec.min_jobs, spec.seed, spec.g);
+    NAT_CHECK_MSG(initial.num_jobs() >= 200,
+                  spec.name << ": job floor not met");
+    const std::int64_t groups =
+        static_cast<std::int64_t>(at::window_groups(initial).size());
+
+    // Precompute the delta stream and its post-delta instances outside
+    // both timers.
+    std::vector<std::pair<at::Delta, at::Instance>> stream;
+    {
+      at::Instance cur = initial;
+      util::Rng rng(100 + spec.seed);
+      int guard = 0;
+      while (static_cast<int>(stream.size()) < spec.steps &&
+             ++guard < 50 * spec.steps) {
+        const auto delta = propose_delta(cur, rng);
+        if (!delta) continue;
+        auto next = after_delta(cur, *delta);
+        if (!next) continue;
+        cur = *next;
+        stream.emplace_back(*delta, std::move(*next));
+      }
+    }
+    NAT_CHECK_MSG(static_cast<int>(stream.size()) == spec.steps,
+                  spec.name << ": could not build the delta stream");
+
+    // Incremental: one session, per-delta apply.
+    at::SolverSession session(initial);
+    session.solve();  // initial build is amortized session setup
+    std::vector<StepResult> incremental;
+    incremental.reserve(stream.size());
+    util::Stopwatch inc_watch;
+    for (const auto& [delta, post] : stream) {
+      incremental.push_back(fingerprint(session.apply(delta)));
+    }
+    const double inc_s = inc_watch.seconds();
+    const at::SessionStats stats = session.stats();
+
+    // Scratch: a fresh session per post-delta instance.
+    std::vector<StepResult> scratch;
+    scratch.reserve(stream.size());
+    util::Stopwatch scr_watch;
+    for (const auto& [delta, post] : stream) {
+      at::SolverSession fresh(post);
+      scratch.push_back(fingerprint(fresh.solve()));
+    }
+    const double scr_s = scr_watch.seconds();
+
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      NAT_CHECK_MSG(
+          incremental[k].assignment_jobs == scratch[k].assignment_jobs &&
+              incremental[k].assignment_slots == scratch[k].assignment_slots &&
+              incremental[k].active_slots == scratch[k].active_slots,
+          spec.name << " step " << k
+                    << ": incremental schedule diverged from scratch");
+    }
+
+    const double speedup = inc_s > 0 ? scr_s / inc_s : 0.0;
+    NAT_CHECK_MSG(speedup > 0, spec.name << ": degenerate timing");
+    log_speedup_sum += std::log(speedup);
+
+    const std::int64_t warm = stats.lp_warm_hits + stats.lp_warm_repairs;
+    table.add_row({spec.name,
+                   io::Table::num(std::int64_t(initial.num_jobs())),
+                   io::Table::num(groups),
+                   io::Table::num(std::int64_t(stream.size())),
+                   io::Table::num(inc_s, 4), io::Table::num(scr_s, 4),
+                   io::Table::num(speedup, 2), io::Table::num(warm),
+                   io::Table::num(stats.lp_cold_fallbacks)});
+
+    obs::Json j = obs::Json::object();
+    j["name"] = spec.name;
+    j["jobs"] = static_cast<std::int64_t>(initial.num_jobs());
+    j["groups"] = groups;
+    j["steps"] = static_cast<std::int64_t>(stream.size());
+    j["incremental_seconds"] = inc_s;
+    j["scratch_seconds"] = scr_s;
+    j["speedup_vs_scratch"] = speedup;
+    j["groups_resolved"] = stats.groups_resolved;
+    j["groups_reused"] = stats.groups_reused;
+    j["lp_warm_hits"] = stats.lp_warm_hits;
+    j["lp_warm_repairs"] = stats.lp_warm_repairs;
+    j["lp_cold_fallbacks"] = stats.lp_cold_fallbacks;
+    cells_json.push_back(std::move(j));
+  }
+  table.print_markdown(std::cout);
+  doc["delta_cells"] = std::move(cells_json);
+  const double geomean =
+      std::exp(log_speedup_sum / static_cast<double>(specs.size()));
+  doc["geomean_speedup"] = geomean;
+  std::cout << "\ngeomean speedup (incremental vs scratch): " << geomean
+            << "\n";
+
+  bench::write_bench_json(doc, out_path);
+  return 0;
+}

@@ -3,6 +3,9 @@
 //   fuzz_differential [--instances N] [--seed S] [--max-jobs M]
 //                     [--time-budget SECONDS] [--regressions DIR]
 //                     [--inject-budget-bug]
+//   fuzz_differential --delta-streams N [--delta-steps K] [--seed S]
+//                     [--max-jobs M] [--time-budget SECONDS]
+//                     [--regressions DIR]
 //
 // Runs N random laminar instances through the double pipeline with the
 // exact-arithmetic verify layer at full strength and asserts
@@ -16,6 +19,13 @@
 // (rounding.hpp) to demonstrate the harness catches a real
 // approximation bug; such a run is *expected* to report violations and
 // therefore exits 0 iff at least one violation was found.
+//
+// --delta-streams switches to the delta-mutation family: random safe
+// delta streams replayed through a persistent SolverSession, asserting
+// bit-identical schedules against from-scratch sessions at every step
+// (verify/fuzz.hpp, run_delta_fuzz). Violations are minimized (deltas
+// first, then base jobs) and written as instance files with `# delta`
+// comment lines.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -28,7 +38,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--instances N] [--seed S] [--max-jobs M]"
                " [--time-budget SECONDS] [--regressions DIR]"
-               " [--inject-budget-bug]\n";
+               " [--inject-budget-bug]"
+               " [--delta-streams N [--delta-steps K]]\n";
   return 2;
 }
 
@@ -37,6 +48,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   nat::verify::fuzz::FuzzOptions options;
   options.regression_dir = "corpus/regressions";
+  int delta_streams = 0;  // > 0 switches to the delta-mutation family
+  int delta_steps = 25;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -66,12 +79,44 @@ int main(int argc, char** argv) {
         options.regression_dir = v;
       } else if (arg == "--inject-budget-bug") {
         options.inject_budget_fault = true;
+      } else if (arg == "--delta-streams") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        delta_streams = std::stoi(v);
+      } else if (arg == "--delta-steps") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        delta_steps = std::stoi(v);
       } else {
         return usage(argv[0]);
       }
     } catch (const std::exception&) {
       return usage(argv[0]);
     }
+  }
+
+  if (delta_streams > 0) {
+    nat::verify::fuzz::DeltaFuzzOptions delta_options;
+    delta_options.streams = delta_streams;
+    delta_options.steps = delta_steps;
+    delta_options.seed = options.seed;
+    delta_options.max_jobs = options.max_jobs;
+    delta_options.time_budget_seconds = options.time_budget_seconds;
+    delta_options.regression_dir = options.regression_dir;
+    const nat::verify::fuzz::DeltaFuzzReport report =
+        nat::verify::fuzz::run_delta_fuzz(delta_options);
+    std::cout << "fuzz_differential: " << report.streams_run
+              << " delta streams, " << report.violations.size()
+              << " violations (seed " << options.seed << ")\n";
+    for (const auto& v : report.violations) {
+      std::cout << "  [" << v.failure_class << "] stream " << v.index
+                << ": minimized " << v.original_jobs << " jobs / "
+                << v.original_steps << " deltas -> " << v.base.num_jobs()
+                << " / " << v.deltas.size();
+      if (!v.repro_path.empty()) std::cout << " (" << v.repro_path << ")";
+      std::cout << "\n    " << v.detail << '\n';
+    }
+    return report.violations.empty() ? 0 : 1;
   }
 
   const nat::verify::fuzz::FuzzReport report =

@@ -18,8 +18,12 @@
 //   --keep-going / --no-keep-going      (default --keep-going)
 //   --files f1 f2 ... remaining args are native-format instance files
 //   --summary         print a batch summary line to stderr at the end
+//   --sessions        stateful mode: lines are session ops
+//                     (open/delta/close, docs/INCREMENTAL.md) routed
+//                     through persistent incremental SolverSessions
+//                     instead of independent cells
 //
-// Record schema: docs/SERVICE.md.
+// Record schema: docs/SERVICE.md (cells), docs/INCREMENTAL.md (sessions).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -29,13 +33,40 @@
 #include <vector>
 
 #include "service/batch.hpp"
+#include "service/sessions.hpp"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: batch_solver [batch.jsonl | -] [--files f1 f2 ...]\n"
             << "         [--solver auto|nested|greedy|exact] [--timeout-ms N]\n"
-            << "         [--threads N] [--no-keep-going] [--summary]\n";
+            << "         [--threads N] [--no-keep-going] [--summary]\n"
+            << "         [--sessions]\n";
+}
+
+/// Stateful mode: every line is one session op (open/delta/close),
+/// processed strictly in order through a SessionManager. One record per
+/// line, same fault-boundary contract as the batch cells.
+int run_sessions(std::istream& in, bool summary) {
+  nat::service::SessionManager manager;
+  std::string line;
+  int index = 0;
+  int solved = 0;
+  int errors = 0;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const nat::service::SessionOpResult r =
+        manager.process_line(line, index++);
+    (r.status == nat::service::CellStatus::kSolved ? solved : errors) += 1;
+    std::cout << nat::service::session_op_to_json(r) << '\n' << std::flush;
+  }
+  if (summary) {
+    std::cerr << "sessions: " << index << " ops, " << solved << " ok, "
+              << errors << " errors, " << manager.open_sessions()
+              << " left open\n";
+  }
+  return 0;
 }
 
 bool read_stream(std::istream& in, std::vector<nat::service::BatchItem>* out) {
@@ -62,6 +93,7 @@ int main(int argc, char** argv) {
   std::vector<service::BatchItem> items;
   std::string jsonl_path;
   bool summary = false;
+  bool sessions = false;
   bool reading_files = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +116,9 @@ int main(int argc, char** argv) {
       reading_files = false;
     } else if (arg == "--summary") {
       summary = true;
+      reading_files = false;
+    } else if (arg == "--sessions") {
+      sessions = true;
       reading_files = false;
     } else if (arg == "--files") {
       reading_files = true;
@@ -112,6 +147,23 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  if (sessions) {
+    if (!items.empty()) {
+      std::cerr << "batch_solver: --sessions reads a JSONL op stream, not "
+                   "--files\n";
+      return 2;
+    }
+    if (jsonl_path.empty() || jsonl_path == "-") {
+      return run_sessions(std::cin, summary);
+    }
+    std::ifstream in(jsonl_path);
+    if (!in.good()) {
+      std::cerr << "batch_solver: cannot open " << jsonl_path << "\n";
+      return 2;
+    }
+    return run_sessions(in, summary);
   }
 
   if (!jsonl_path.empty()) {

@@ -1,0 +1,141 @@
+// Incremental delta re-solve engine (docs/INCREMENTAL.md).
+//
+// A SolverSession owns an instance plus every derived solver artifact —
+// laminar forests, strengthened LP models, sparse-simplex bases, warm
+// feasibility-oracle networks, rounded counts, schedule fragments — and
+// accepts typed deltas (AddJob / RemoveJob / ExtendWindow /
+// ShrinkWindow), re-solving only what a delta invalidates.
+//
+// Localization exploits that the whole 9/5 pipeline is block-separable
+// per *root window group*: jobs whose windows land in disjoint maximal
+// intervals never share an LP row, an oracle arc, a push-down move, or
+// a rounding decision. The session partitions the instance into those
+// groups, caches each group's solve keyed by its content, and after a
+// delta re-solves only groups whose content changed — warm-starting the
+// dirty group's LP from the displaced group's exported basis, mapped
+// across models by content descriptors.
+//
+// Determinism contract: a group is solved by the canonicalizing sparse
+// simplex (lp/sparse_simplex.hpp), which terminates at the same optimal
+// vertex whether it started cold or warm. Downstream stages are
+// deterministic functions of that vertex, so an incremental re-solve is
+// BIT-IDENTICAL to a fresh SolverSession built on the same instance —
+// tests/test_session.cpp asserts this on every step of randomized delta
+// walks, and bench/bench_delta.cpp re-asserts it while timing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "activetime/instance.hpp"
+#include "activetime/lp_relaxation.hpp"
+#include "activetime/schedule.hpp"
+#include "lp/sparse_simplex.hpp"
+#include "util/cancel.hpp"
+
+namespace nat::at {
+
+// Typed deltas. Job indices refer to the session's *current* job list
+// (insertion order; RemoveJob shifts later indices down by one, like a
+// vector erase). Window edits must nest — ExtendWindow's new window
+// must contain the old one, ShrinkWindow's must be contained in it —
+// and every delta must leave the instance laminar; violations throw
+// util::CheckError and roll the session back.
+struct AddJob {
+  Job job;
+};
+struct RemoveJob {
+  int job = -1;
+};
+struct ExtendWindow {
+  int job = -1;
+  Interval window;
+};
+struct ShrinkWindow {
+  int job = -1;
+  Interval window;
+};
+using Delta = std::variant<AddJob, RemoveJob, ExtendWindow, ShrinkWindow>;
+
+struct SessionOptions {
+  StrongLpOptions lp;
+  // Validate every assembled schedule against the current instance
+  // (cheap; on by default because sessions are long-lived state).
+  bool validate_schedules = true;
+  // Polled at simplex pivots and oracle queries of every group solve.
+  const util::CancelToken* cancel = nullptr;
+};
+
+/// Cumulative session statistics (reset never; diff across calls).
+struct SessionStats {
+  std::int64_t solves = 0;          // solve()/apply() calls that resolved
+  std::int64_t groups_total = 0;    // groups seen across all resolves
+  std::int64_t groups_resolved = 0; // groups actually re-solved
+  std::int64_t groups_reused = 0;   // cache hits (untouched groups)
+  std::int64_t oracle_builds = 0;   // flow networks built by this session
+  // Warm-start ladder, summed over group LP solves (lp.sparse.warm_*).
+  std::int64_t lp_warm_hits = 0;
+  std::int64_t lp_warm_repairs = 0;
+  std::int64_t lp_cold_fallbacks = 0;
+};
+
+struct SessionResult {
+  Schedule schedule;  // indexed by current job positions
+  std::int64_t active_slots = 0;
+  double lp_value = 0.0;  // sum of the group LP optima
+  int repairs = 0;
+};
+
+class SolverSession {
+ public:
+  explicit SolverSession(Instance initial, SessionOptions options = {});
+
+  /// Result for the current instance; solves lazily, then caches.
+  const SessionResult& solve();
+
+  /// Applies one delta and re-solves incrementally. On any failure
+  /// (invalid delta, non-laminar or infeasible result) the session
+  /// rolls back to its pre-delta instance and result and rethrows.
+  const SessionResult& apply(const Delta& delta);
+
+  const Instance& instance() const { return instance_; }
+  const SessionStats& stats() const { return stats_; }
+  int num_jobs() const { return static_cast<int>(instance_.jobs.size()); }
+
+ private:
+  /// One root window group's cached solve.
+  struct GroupSolve {
+    std::vector<Job> jobs;  // group content, in current-instance order
+    Interval window{0, 0};  // union of the member windows
+    std::vector<std::vector<Time>> slots;  // per member, sorted
+    std::int64_t active_slots = 0;
+    double lp_value = 0.0;
+    int repairs = 0;
+    lp::Basis basis;                     // exported optimal basis
+    std::vector<std::string> var_keys;   // content key per LP variable
+  };
+
+  void resolve();
+  GroupSolve solve_group(const std::vector<int>& members,
+                         const GroupSolve* hint);
+
+  Instance instance_;
+  SessionOptions options_;
+  SessionStats stats_;
+  SessionResult result_;
+  bool solved_ = false;
+  // Content-keyed cache of the latest resolve's groups. Keys hash the
+  // group's (g, jobs) content; collisions are disambiguated by storing
+  // the jobs and comparing on hit.
+  std::unordered_map<std::uint64_t, GroupSolve> cache_;
+};
+
+/// Splits job indices into root window groups: connected components of
+/// window overlap, each a maximal union interval. Groups are ordered by
+/// window start; members keep ascending index order. Exposed for tests
+/// and the delta fuzz family.
+std::vector<std::vector<int>> window_groups(const Instance& instance);
+
+}  // namespace nat::at

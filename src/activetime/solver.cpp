@@ -15,13 +15,8 @@
 
 namespace nat::at {
 
-namespace {
-
-/// Opens additional region slots until the rounded vector is
-/// flow-feasible. Only ever triggered by floating-point slack in the
-/// LP; returns the number of increments.
-int repair_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
-                  std::vector<Time>& counts) {
+int repair_open_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
+                       std::vector<Time>& counts) {
   int repairs = 0;
   std::int64_t budget = 0;  // remaining closed slots; bounds the loop
   for (int i = 0; i < forest.num_nodes(); ++i) {
@@ -54,8 +49,6 @@ int repair_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
   }
   return repairs;
 }
-
-}  // namespace
 
 NestedSolveResult solve_nested(const Instance& instance,
                                const NestedSolverOptions& options) {
@@ -160,7 +153,7 @@ NestedSolveResult solve_nested(const Instance& instance,
 
   {
     obs::Span span("solve_nested/repair");
-    result.repairs = repair_counts(forest, oracle, result.x_rounded);
+    result.repairs = repair_open_counts(forest, oracle, result.x_rounded);
     static obs::Counter& c_repairs = obs::counter("at.solver.repairs");
     c_repairs.add(result.repairs);
   }

@@ -61,6 +61,15 @@ struct NestedSolveResult {
 NestedSolveResult solve_nested(const Instance& instance,
                                const NestedSolverOptions& options = {});
 
+class FeasibilityOracle;
+
+/// Opens additional region slots until `counts` is flow-feasible.
+/// Only ever triggered by floating-point slack in the LP; returns the
+/// number of increments. Shared by solve_nested and the incremental
+/// session (activetime/session.*).
+int repair_open_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
+                       std::vector<Time>& counts);
+
 /// Value of the strengthened LP alone (lower bound on OPT).
 double strong_lp_value(const Instance& instance,
                        const StrongLpOptions& options = {});

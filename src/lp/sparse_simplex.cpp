@@ -26,10 +26,23 @@ constexpr double kUnstablePivot = 1e-7;
 // or the eta file outgrowing a small multiple of the row count.
 constexpr std::int64_t kRefactorInterval = 100;
 
+// Generic secondary weight for the canonicalization pass: a splitmix64
+// hash of the variable index mapped into [1, 2). Integer arithmetic +
+// one exact conversion, so the weights are bit-identical across
+// platforms, and hashing makes weight coincidences (two vertices of the
+// optimal face with equal secondary value) practically impossible.
+double canonical_weight(int var) {
+  std::uint64_t z = static_cast<std::uint64_t>(var) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return 1.0 + static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
 class SparseSimplex {
  public:
   Solution run(const Model& model, const SolveOptions& options,
-               SparseStats* stats) {
+               const WarmOptions& warm, SparseStats* stats) {
     tol_ = options.tol;
     feas_tol_ = options.feas_tol;
     cancel_ = options.cancel;
@@ -41,15 +54,41 @@ class SparseSimplex {
     bland_after_ = 4 * static_cast<std::int64_t>(rows_ + cols_) + 200;
 
     Solution sol;
-    Status st = phase1();
-    if (st == Status::kOptimal) {
-      st = phase2();
-    } else if (st == Status::kUnbounded) {
-      st = Status::kInfeasible;  // phase 1 is bounded below by 0
+    Status st = Status::kIterLimit;
+    bool warm_done = false;
+    if (warm.warm != nullptr && !warm.warm->empty()) {
+      bool clean = false;
+      const std::int64_t moves0 =
+          stats_.pivots + stats_.bound_flips + stats_.dual_pivots;
+      if (try_warm(model, *warm.warm, clean, st)) {
+        warm_done = true;
+        const std::int64_t moves =
+            stats_.pivots + stats_.bound_flips + stats_.dual_pivots - moves0;
+        if (clean && moves == 0) {
+          ++stats_.warm_hit;
+        } else {
+          ++stats_.warm_repair;
+        }
+      } else {
+        ++stats_.cold_fallback;
+        reset_to_initial_basis();
+      }
     }
+    if (!warm_done) {
+      st = phase1();
+      if (st == Status::kOptimal) {
+        st = phase2();
+      } else if (st == Status::kUnbounded) {
+        st = Status::kInfeasible;  // phase 1 is bounded below by 0
+      }
+    }
+    if (st == Status::kOptimal && warm.canonical) canonical_phase();
     sol.status = st;
     sol.iterations = iterations_;
-    if (st == Status::kOptimal) extract(model, sol);
+    if (st == Status::kOptimal) {
+      extract(model, sol);
+      if (warm.export_basis != nullptr) export_to(model, *warm.export_basis);
+    }
     stats_.eta_nonzeros = static_cast<std::int64_t>(eta_nnz_);
     if (stats) *stats = stats_;
     flush_counters();
@@ -212,10 +251,15 @@ class SparseSimplex {
       basis_[r] = bcol;
       basic_[bcol] = true;
     }
+    initial_basis_ = basis_;
 
     cost_.assign(cols_, 0.0);
+    c2_.assign(cols_, 0.0);
     for (int i = 0; i < model.num_variables(); ++i) {
       const double c = model.variable(i).objective;
+      const double w = canonical_weight(i);
+      c2_[varmap_[i].col_pos] = w;
+      if (varmap_[i].col_neg >= 0) c2_[varmap_[i].col_neg] = -w;
       if (c == 0.0) continue;
       cost_[varmap_[i].col_pos] += c;
       if (varmap_[i].col_neg >= 0) cost_[varmap_[i].col_neg] -= c;
@@ -344,6 +388,84 @@ class SparseSimplex {
 
   // --- iteration -----------------------------------------------------------
 
+  enum class PivotOutcome { kPivoted, kFlipped, kUnbounded, kRetry };
+
+  /// Bounded ratio test plus basis update for entering column `j`
+  /// (same rules and tie-breaks as the bounded dense backend): moving
+  /// the entering variable by t, basic values move along
+  /// -t * sign * w. Shared by the primal phases and the
+  /// canonicalization pass. kRetry means the eta file was stale and a
+  /// refactorization ran; the caller re-prices from fresh duals.
+  PivotOutcome pivot_step(std::size_t j, bool decreasing) {
+    load_column(j, work_);
+    ftran(work_);
+
+    const double sign = decreasing ? -1.0 : 1.0;
+    double limit = ub_[j];  // own bound: ends in a flip
+    std::ptrdiff_t leave = -1;
+    bool leave_at_upper = false;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double a = sign * work_[r];
+      double cap = kInfU;
+      bool blocks_at_upper = false;
+      if (a > tol_) {
+        cap = beta_[r] / a;  // basic hits its lower bound 0
+      } else if (a < -tol_) {
+        const double u = ub_[basis_[r]];
+        if (std::isfinite(u)) {
+          cap = (u - beta_[r]) / (-a);
+          blocks_at_upper = true;
+        }
+      }
+      if (cap < limit - tol_ ||
+          (cap < limit + tol_ && leave >= 0 && basis_[r] < basis_[leave])) {
+        if (cap <= limit + tol_) {
+          limit = std::max(cap, 0.0);
+          leave = static_cast<std::ptrdiff_t>(r);
+          leave_at_upper = blocks_at_upper;
+        }
+      }
+    }
+    if (!std::isfinite(limit)) return PivotOutcome::kUnbounded;
+
+    if (leave < 0) {
+      // Bound flip: no basis change, no eta.
+      NAT_DCHECK(std::isfinite(ub_[j]));
+      for (std::size_t r = 0; r < rows_; ++r) {
+        beta_[r] -= ub_[j] * sign * work_[r];
+      }
+      at_upper_[j] = !at_upper_[j];
+      ++iterations_;
+      ++stats_.bound_flips;
+      return PivotOutcome::kFlipped;
+    }
+
+    const std::size_t prow = static_cast<std::size_t>(leave);
+    if (std::abs(work_[prow]) < kUnstablePivot && !etas_.empty()) {
+      // The transformed pivot is numerically shaky and the eta file
+      // is stale; re-invert and redo the iteration from fresh duals.
+      refactorize();
+      return PivotOutcome::kRetry;
+    }
+
+    for (std::size_t r = 0; r < rows_; ++r) {
+      beta_[r] -= limit * sign * work_[r];
+    }
+    const int leaving = basis_[prow];
+    at_upper_[leaving] = leave_at_upper;
+    basic_[leaving] = false;
+    append_eta(work_, prow);
+    basis_[prow] = static_cast<int>(j);
+    basic_[j] = true;
+    at_upper_[j] = false;
+    beta_[prow] = decreasing ? ub_[j] - limit : limit;
+    ++iterations_;
+    ++stats_.pivots;
+    ++pivots_since_refactor_;
+    if (limit <= tol_) ++stats_.degenerate;
+    return PivotOutcome::kPivoted;
+  }
+
   template <class Allow>
   Status iterate(const std::vector<double>& cost, const Allow& allow) {
     for (;;) {
@@ -383,77 +505,15 @@ class SparseSimplex {
         }
       }
       if (enter < 0) return Status::kOptimal;
-      const std::size_t j = static_cast<std::size_t>(enter);
 
-      load_column(j, work_);
-      ftran(work_);
-
-      // Bounded ratio test (same rules and tie-breaks as the bounded
-      // dense backend): moving the entering variable by t, basic
-      // values move along -t * sign * w.
-      const double sign = decreasing ? -1.0 : 1.0;
-      double limit = ub_[j];  // own bound: ends in a flip
-      std::ptrdiff_t leave = -1;
-      bool leave_at_upper = false;
-      for (std::size_t r = 0; r < rows_; ++r) {
-        const double a = sign * work_[r];
-        double cap = kInfU;
-        bool blocks_at_upper = false;
-        if (a > tol_) {
-          cap = beta_[r] / a;  // basic hits its lower bound 0
-        } else if (a < -tol_) {
-          const double u = ub_[basis_[r]];
-          if (std::isfinite(u)) {
-            cap = (u - beta_[r]) / (-a);
-            blocks_at_upper = true;
-          }
-        }
-        if (cap < limit - tol_ ||
-            (cap < limit + tol_ && leave >= 0 && basis_[r] < basis_[leave])) {
-          if (cap <= limit + tol_) {
-            limit = std::max(cap, 0.0);
-            leave = static_cast<std::ptrdiff_t>(r);
-            leave_at_upper = blocks_at_upper;
-          }
-        }
+      switch (pivot_step(static_cast<std::size_t>(enter), decreasing)) {
+        case PivotOutcome::kUnbounded:
+          return Status::kUnbounded;
+        case PivotOutcome::kPivoted:
+        case PivotOutcome::kFlipped:
+        case PivotOutcome::kRetry:
+          continue;
       }
-      if (!std::isfinite(limit)) return Status::kUnbounded;
-
-      if (leave < 0) {
-        // Bound flip: no basis change, no eta.
-        NAT_DCHECK(std::isfinite(ub_[j]));
-        for (std::size_t r = 0; r < rows_; ++r) {
-          beta_[r] -= ub_[j] * sign * work_[r];
-        }
-        at_upper_[j] = !at_upper_[j];
-        ++iterations_;
-        ++stats_.bound_flips;
-        continue;
-      }
-
-      const std::size_t prow = static_cast<std::size_t>(leave);
-      if (std::abs(work_[prow]) < kUnstablePivot && !etas_.empty()) {
-        // The transformed pivot is numerically shaky and the eta file
-        // is stale; re-invert and redo the iteration from fresh duals.
-        refactorize();
-        continue;
-      }
-
-      for (std::size_t r = 0; r < rows_; ++r) {
-        beta_[r] -= limit * sign * work_[r];
-      }
-      const int leaving = basis_[prow];
-      at_upper_[leaving] = leave_at_upper;
-      basic_[leaving] = false;
-      append_eta(work_, prow);
-      basis_[prow] = static_cast<int>(j);
-      basic_[j] = true;
-      at_upper_[j] = false;
-      beta_[prow] = decreasing ? ub_[j] - limit : limit;
-      ++iterations_;
-      ++stats_.pivots;
-      ++pivots_since_refactor_;
-      if (limit <= tol_) ++stats_.degenerate;
     }
   }
 
@@ -500,6 +560,323 @@ class SparseSimplex {
     return iterate(cost_, [ab](std::size_t j) { return j < ab; });
   }
 
+  // --- warm start ----------------------------------------------------------
+
+  /// Restores the pristine slack/artificial starting basis (and the
+  /// artificial upper bounds that a warm attempt pinned), so the cold
+  /// two-phase path can run after a failed import.
+  void reset_to_initial_basis() {
+    etas_.clear();
+    eta_nnz_ = 0;
+    pivots_since_refactor_ = 0;
+    basis_ = initial_basis_;
+    std::fill(basic_.begin(), basic_.end(), false);
+    for (int j : basis_) basic_[j] = true;
+    std::fill(at_upper_.begin(), at_upper_.end(), false);
+    for (std::size_t j = art_begin_; j < cols_; ++j) ub_[j] = kInfU;
+    beta_ = b_;
+  }
+
+  /// Factorizes the requested structural basis columns, dropping any
+  /// that turn out linearly dependent (counted in `drops`) and
+  /// completing the basis with each uncovered row's slack/artificial.
+  /// Returns false when no nonsingular completion exists.
+  bool import_factorize(const std::vector<int>& want, int* drops) {
+    etas_.clear();
+    eta_nnz_ = 0;
+    pivots_since_refactor_ = 0;
+    ++stats_.refactorizations;
+    std::fill(basic_.begin(), basic_.end(), false);
+    std::fill(basis_.begin(), basis_.end(), -1);
+    std::vector<char> row_done(rows_, 0);
+
+    std::vector<int> order(want);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int na = col_ptr_[a + 1] - col_ptr_[a];
+      const int nb = col_ptr_[b + 1] - col_ptr_[b];
+      return na != nb ? na < nb : a < b;
+    });
+
+    std::size_t assigned = 0;
+    auto place = [&](int j) -> bool {
+      load_column(static_cast<std::size_t>(j), work_);
+      ftran(work_);
+      std::ptrdiff_t prow = -1;
+      double best = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (row_done[r]) continue;
+        const double a = std::abs(work_[r]);
+        if (a > best) {
+          best = a;
+          prow = static_cast<std::ptrdiff_t>(r);
+        }
+      }
+      if (prow < 0 || best <= kDropTol) return false;
+      append_eta(work_, static_cast<std::size_t>(prow));
+      row_done[prow] = 1;
+      basis_[prow] = j;
+      basic_[j] = true;
+      ++assigned;
+      return true;
+    };
+
+    for (int j : order) {
+      if (assigned == rows_ || !place(j)) ++*drops;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (row_done[r]) continue;
+      // The row's own logical column usually pivots at row r, but the
+      // etas accumulated so far can move or cancel it; try the slack,
+      // then the artificial, and give up (cold fallback) if neither
+      // completes the factorization.
+      bool filled = false;
+      for (int j : {slack_col_[r], art_col_[r]}) {
+        if (j < 0 || basic_[j]) continue;
+        if (place(j)) {
+          filled = true;
+          break;
+        }
+      }
+      if (!filled) return false;
+    }
+    return assigned == rows_;
+  }
+
+  /// Bounded dual simplex: drives basic values back inside their
+  /// bounds after an import whose rhs/bounds drifted from the exporting
+  /// model (window edits). Returns false on a stall or iteration cap —
+  /// the caller then cold-solves, so this phase never has to handle
+  /// pathological bases gracefully, only cheaply.
+  bool dual_phase() {
+    const std::int64_t cap = 4 * static_cast<std::int64_t>(rows_ + cols_) + 200;
+    std::int64_t steps = 0;
+    std::vector<double> rho(rows_, 0.0);
+    for (;;) {
+      util::poll_cancel(cancel_);
+      if (steps++ >= cap || iterations_ >= max_iterations_) return false;
+      if (pivots_since_refactor_ >= kRefactorInterval ||
+          eta_nnz_ > 8 * rows_ + 512) {
+        refactorize();
+      }
+
+      // Most violated basic variable leaves.
+      std::ptrdiff_t lrow = -1;
+      double viol = feas_tol_;
+      bool upper_viol = false;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (-beta_[r] > viol) {
+          viol = -beta_[r];
+          lrow = static_cast<std::ptrdiff_t>(r);
+          upper_viol = false;
+        }
+        const double u = ub_[basis_[r]];
+        if (std::isfinite(u) && beta_[r] - u > viol) {
+          viol = beta_[r] - u;
+          lrow = static_cast<std::ptrdiff_t>(r);
+          upper_viol = true;
+        }
+      }
+      if (lrow < 0) return true;  // primal feasible
+
+      std::fill(duals_.begin(), duals_.end(), 0.0);
+      for (std::size_t r = 0; r < rows_; ++r) duals_[r] = cost_[basis_[r]];
+      btran(duals_);
+      std::fill(rho.begin(), rho.end(), 0.0);
+      rho[lrow] = 1.0;
+      btran(rho);
+
+      // Dual ratio test over the pivot row; sigma flips the row so a
+      // lower violation and an upper violation share one rule. Ties go
+      // to the smallest column (deterministic, Bland-compatible).
+      const double sigma = upper_viol ? -1.0 : 1.0;
+      std::ptrdiff_t enter = -1;
+      double best_ratio = kInfU;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (basic_[j] || ub_[j] <= tol_) continue;
+        const double a = sigma * column_dot(j, rho);
+        double ratio;
+        if (!at_upper_[j] && a < -tol_) {
+          const double d = cost_[j] - column_dot(j, duals_);
+          ratio = std::max(d, 0.0) / (-a);
+        } else if (at_upper_[j] && a > tol_) {
+          const double d = cost_[j] - column_dot(j, duals_);
+          ratio = std::max(-d, 0.0) / a;
+        } else {
+          continue;
+        }
+        if (ratio < best_ratio - 1e-12) {
+          best_ratio = ratio;
+          enter = static_cast<std::ptrdiff_t>(j);
+        }
+      }
+      if (enter < 0) return false;  // dual unbounded or stuck
+
+      const std::size_t j = static_cast<std::size_t>(enter);
+      load_column(j, work_);
+      ftran(work_);
+      const double piv = work_[static_cast<std::size_t>(lrow)];
+      if (std::abs(piv) < kUnstablePivot) {
+        if (!etas_.empty()) {
+          refactorize();
+          continue;
+        }
+        return false;
+      }
+
+      // Entering deviation from its resting bound; the leaving
+      // variable lands exactly on the bound it violated.
+      const double target =
+          upper_viol ? ub_[basis_[static_cast<std::size_t>(lrow)]] : 0.0;
+      const double delta = (beta_[static_cast<std::size_t>(lrow)] - target) /
+                           piv;
+      for (std::size_t r = 0; r < rows_; ++r) beta_[r] -= delta * work_[r];
+      const int leaving = basis_[static_cast<std::size_t>(lrow)];
+      basic_[leaving] = false;
+      at_upper_[leaving] = upper_viol;
+      append_eta(work_, static_cast<std::size_t>(lrow));
+      basis_[static_cast<std::size_t>(lrow)] = static_cast<int>(j);
+      basic_[j] = true;
+      const double base =
+          at_upper_[j] && std::isfinite(ub_[j]) ? ub_[j] : 0.0;
+      beta_[static_cast<std::size_t>(lrow)] = base + delta;
+      at_upper_[j] = false;
+      ++iterations_;
+      ++pivots_since_refactor_;
+      ++stats_.dual_pivots;
+    }
+  }
+
+  /// Warm path: import the hinted basis, restore primal feasibility
+  /// with the dual phase, then finish with the regular primal phase 2.
+  /// `clean` reports a drop-free import. Returns false when the cold
+  /// path must run instead; `st_out` is only meaningful on true.
+  bool try_warm(const Model& model, const Basis& hint, bool& clean,
+                Status& st_out) {
+    if (static_cast<int>(hint.variables.size()) != model.num_variables()) {
+      return false;
+    }
+    std::vector<int> want;
+    want.reserve(hint.variables.size());
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const VarMap& vm = varmap_[i];
+      switch (hint.variables[i]) {
+        case VarStatus::kBasic:
+          want.push_back(vm.col_pos);
+          break;
+        case VarStatus::kAtUpper:
+          if (std::isfinite(ub_[vm.col_pos])) at_upper_[vm.col_pos] = true;
+          break;
+        case VarStatus::kAtLower:
+          break;
+      }
+      // A free variable's negative split column stays nonbasic at
+      // zero; the LPs this path serves have no free variables.
+    }
+    int drops = 0;
+    if (!import_factorize(want, &drops)) return false;
+    clean = drops == 0;
+
+    // Phase-2 semantics from the start: artificials pinned at zero.
+    // A basic artificial forced above zero by the import (the old
+    // basis no longer spans this row's equality) is primal-infeasible
+    // and the dual phase drives it out like any other bound violation.
+    for (std::size_t j = art_begin_; j < cols_; ++j) {
+      ub_[j] = 0.0;
+      at_upper_[j] = false;
+    }
+    recompute_beta();
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (static_cast<std::size_t>(basis_[r]) >= art_begin_ &&
+          std::abs(beta_[r]) <= feas_tol_) {
+        beta_[r] = 0.0;
+      }
+    }
+    if (!dual_phase()) return false;
+    const std::size_t ab = art_begin_;
+    const Status st = iterate(cost_, [ab](std::size_t j) { return j < ab; });
+    if (st == Status::kIterLimit) return false;
+    st_out = st;  // optimal, or a genuine unbounded ray from a
+                  // feasible point
+    return true;
+  }
+
+  /// Pivots across the optimal face to the vertex minimizing the fixed
+  /// secondary objective c2 (entering candidates are restricted to
+  /// zero-reduced-cost columns, so the primal objective is preserved).
+  /// Warm and cold solves of one model therefore terminate at the same
+  /// vertex, which is what makes incremental re-solves bit-identical
+  /// downstream of the LP.
+  void canonical_phase() {
+    constexpr double kFaceTol = 1e-7;
+    const std::int64_t budget =
+        16 * static_cast<std::int64_t>(rows_ + cols_) + 400;
+    std::vector<double> duals2(rows_, 0.0);
+    std::int64_t stall = 0;
+    bool bland = false;
+    for (std::int64_t it = 0; it < budget; ++it) {
+      util::poll_cancel(cancel_);
+      if (pivots_since_refactor_ >= kRefactorInterval ||
+          eta_nnz_ > 8 * rows_ + 512) {
+        refactorize();
+      }
+      std::fill(duals_.begin(), duals_.end(), 0.0);
+      for (std::size_t r = 0; r < rows_; ++r) duals_[r] = cost_[basis_[r]];
+      btran(duals_);
+      std::fill(duals2.begin(), duals2.end(), 0.0);
+      for (std::size_t r = 0; r < rows_; ++r) duals2[r] = c2_[basis_[r]];
+      btran(duals2);
+
+      std::ptrdiff_t enter = -1;
+      bool decreasing = false;
+      double best = 0.0;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (basic_[j] || ub_[j] <= tol_) continue;
+        const double d = cost_[j] - column_dot(j, duals_);
+        if (std::abs(d) > kFaceTol) continue;  // would leave the face
+        const double d2 = c2_[j] - column_dot(j, duals2);
+        const bool improving = at_upper_[j] ? d2 > tol_ : d2 < -tol_;
+        if (!improving) continue;
+        if (bland) {
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+          break;
+        }
+        if (std::abs(d2) > best) {
+          best = std::abs(d2);
+          enter = static_cast<std::ptrdiff_t>(j);
+          decreasing = at_upper_[j];
+        }
+      }
+      if (enter < 0) return;
+
+      switch (pivot_step(static_cast<std::size_t>(enter), decreasing)) {
+        case PivotOutcome::kUnbounded:
+          return;  // defensive: the face is bounded in these LPs
+        case PivotOutcome::kPivoted:
+        case PivotOutcome::kFlipped:
+          ++stats_.canonical_pivots;
+          if (++stall > 2 * static_cast<std::int64_t>(rows_ + cols_) + 100) {
+            bland = true;  // anti-cycling on a degenerate face
+          }
+          break;
+        case PivotOutcome::kRetry:
+          break;
+      }
+    }
+  }
+
+  void export_to(const Model& model, Basis& out) const {
+    out.variables.assign(model.num_variables(), VarStatus::kAtLower);
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const VarMap& vm = varmap_[i];
+      if (basic_[vm.col_pos] || (vm.col_neg >= 0 && basic_[vm.col_neg])) {
+        out.variables[i] = VarStatus::kBasic;
+      } else if (at_upper_[vm.col_pos]) {
+        out.variables[i] = VarStatus::kAtUpper;
+      }
+    }
+  }
+
   void extract(const Model& model, Solution& sol) {
     std::vector<double> xs(cols_, 0.0);
     for (std::size_t j = 0; j < cols_; ++j) {
@@ -523,11 +900,24 @@ class SparseSimplex {
     static obs::Counter& c_flips = obs::counter("lp.sparse.bound_flips");
     static obs::Counter& c_degen = obs::counter("lp.sparse.degenerate");
     static obs::Counter& c_refac = obs::counter("lp.sparse.refactorizations");
+    static obs::Counter& c_whit = obs::counter("lp.sparse.warm_hit");
+    static obs::Counter& c_wrep = obs::counter("lp.sparse.warm_repair");
+    static obs::Counter& c_cold = obs::counter("lp.sparse.cold_fallback");
+    static obs::Counter& c_dual = obs::counter("lp.sparse.dual_pivots");
+    static obs::Counter& c_canon = obs::counter("lp.sparse.canonical_pivots");
     c_solves.add(1);
     c_pivots.add(stats_.pivots);
     c_flips.add(stats_.bound_flips);
     c_degen.add(stats_.degenerate);
     c_refac.add(stats_.refactorizations);
+    // Warm counters are added even when zero so they register on the
+    // first sparse solve and show up in every obs report (the golden
+    // report-keys test relies on this).
+    c_whit.add(stats_.warm_hit);
+    c_wrep.add(stats_.warm_repair);
+    c_cold.add(stats_.cold_fallback);
+    c_dual.add(stats_.dual_pivots);
+    c_canon.add(stats_.canonical_pivots);
   }
 
   // Standardized problem (CSC).
@@ -537,6 +927,8 @@ class SparseSimplex {
   std::vector<double> b_;                 // standardized rhs
   std::vector<double> ub_;                // per column; lower bound is 0
   std::vector<double> cost_;              // phase-2 costs
+  std::vector<double> c2_;                // canonicalization weights
+  std::vector<int> initial_basis_;        // pristine slack/artificial basis
   std::vector<VarMap> varmap_;
   std::size_t rows_ = 0, cols_ = 0, art_begin_ = 0;
   int structural_ = 0;
@@ -565,7 +957,13 @@ class SparseSimplex {
 Solution solve_sparse(const Model& model, const SolveOptions& options,
                       SparseStats* stats) {
   SparseSimplex solver;
-  return solver.run(model, options, stats);
+  return solver.run(model, options, WarmOptions{}, stats);
+}
+
+Solution solve_sparse_warm(const Model& model, const SolveOptions& options,
+                           const WarmOptions& warm, SparseStats* stats) {
+  SparseSimplex solver;
+  return solver.run(model, options, warm, stats);
 }
 
 }  // namespace nat::lp

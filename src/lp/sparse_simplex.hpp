@@ -21,9 +21,26 @@
 // threshold (finite termination on degenerate/cycling-prone LPs).
 // Differentially tested against the dense and bounded backends on the
 // LP corpus and random sweeps (tests/test_sparse_simplex.cpp).
+//
+// Warm starts (docs/INCREMENTAL.md): solve_sparse_warm accepts a Basis
+// exported from a previous solve of a *similar* model, factorizes it
+// (patching linearly dependent or missing columns), restores primal
+// feasibility with a bounded dual-simplex phase when rhs/bound edits
+// moved the old vertex out of the box, then finishes with the regular
+// primal phase 2. Any anomaly — dimension mismatch, singular basis,
+// dual stall — falls back to the cold two-phase path, so a warm call
+// is never less robust than a cold one. The ladder is observable via
+// lp.sparse.warm_hit / warm_repair / cold_fallback.
+//
+// The optional canonicalization pass pivots across the optimal face to
+// the vertex minimizing a fixed generic secondary objective, so warm
+// and cold solves of the same model land on the *same* vertex — the
+// property the incremental session layer (activetime/session.*) relies
+// on for bit-identical re-solves.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "lp/dense_simplex.hpp"
 #include "lp/model.hpp"
@@ -39,6 +56,31 @@ struct SparseStats {
   std::int64_t degenerate = 0;
   std::int64_t refactorizations = 0;
   std::int64_t eta_nonzeros = 0;  // eta-file size at termination
+  // Warm-start ladder (solve_sparse_warm; all zero on cold solves).
+  std::int64_t warm_hit = 0;       // imported basis was still optimal
+  std::int64_t warm_repair = 0;    // warm path succeeded after pivots
+  std::int64_t cold_fallback = 0;  // basis unusable, cold solve ran
+  std::int64_t dual_pivots = 0;    // bounded dual-simplex repair pivots
+  std::int64_t canonical_pivots = 0;  // optimal-face canonicalization
+};
+
+/// Nonbasic variables sit at a bound; everything else is basic. The
+/// status of slack/artificial columns is not recorded — an import
+/// completes the basis with logical columns deterministically.
+enum class VarStatus : std::uint8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+/// Exportable basis snapshot: one status per *model* variable. The
+/// snapshot is meaningful across models of the same family when the
+/// caller maps variable indices by content (activetime/session.cpp).
+struct Basis {
+  std::vector<VarStatus> variables;
+  bool empty() const { return variables.empty(); }
+};
+
+struct WarmOptions {
+  const Basis* warm = nullptr;    // import hint; nullptr = cold solve
+  Basis* export_basis = nullptr;  // filled on optimal termination
+  bool canonical = false;         // pivot to the canonical optimal vertex
 };
 
 /// Solves `model` (minimization) with the sparse revised simplex.
@@ -46,5 +88,10 @@ struct SparseStats {
 /// tolerances.
 Solution solve_sparse(const Model& model, const SolveOptions& options = {},
                       SparseStats* stats = nullptr);
+
+/// solve_sparse plus warm start / basis export / canonicalization.
+Solution solve_sparse_warm(const Model& model, const SolveOptions& options,
+                           const WarmOptions& warm,
+                           SparseStats* stats = nullptr);
 
 }  // namespace nat::lp

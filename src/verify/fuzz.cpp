@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "activetime/exact_pipeline.hpp"
+#include "activetime/feasibility.hpp"
 #include "activetime/rounding.hpp"
 #include "activetime/solver.hpp"
 #include "baselines/exact.hpp"
@@ -266,6 +269,293 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     v.instance = minimize_violation(instance, v.failure_class, options);
     if (!options.regression_dir.empty()) {
       v.repro_path = write_repro(options.regression_dir, v);
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------------
+// Delta-mutation family.
+
+namespace {
+
+/// Applies one delta to a plain instance copy; empty when it would be
+/// out of range, break window nesting, break laminarity, lose the last
+/// job, or make the instance infeasible (same safety rules the session
+/// enforces, simulated without a solve).
+std::optional<at::Instance> apply_delta_plain(const at::Instance& instance,
+                                              const at::Delta& delta) {
+  at::Instance cand = instance;
+  try {
+    if (const auto* a = std::get_if<at::AddJob>(&delta)) {
+      cand.jobs.push_back(a->job);
+    } else if (const auto* r = std::get_if<at::RemoveJob>(&delta)) {
+      if (r->job < 0 || r->job >= static_cast<int>(cand.jobs.size())) {
+        return std::nullopt;
+      }
+      cand.jobs.erase(cand.jobs.begin() + r->job);
+    } else if (const auto* e = std::get_if<at::ExtendWindow>(&delta)) {
+      if (e->job < 0 || e->job >= static_cast<int>(cand.jobs.size())) {
+        return std::nullopt;
+      }
+      at::Job& j = cand.jobs[static_cast<std::size_t>(e->job)];
+      if (e->window.lo > j.release || e->window.hi < j.deadline) {
+        return std::nullopt;
+      }
+      j.release = e->window.lo;
+      j.deadline = e->window.hi;
+    } else if (const auto* s = std::get_if<at::ShrinkWindow>(&delta)) {
+      if (s->job < 0 || s->job >= static_cast<int>(cand.jobs.size())) {
+        return std::nullopt;
+      }
+      at::Job& j = cand.jobs[static_cast<std::size_t>(s->job)];
+      if (s->window.lo < j.release || s->window.hi > j.deadline ||
+          s->window.length() < j.processing) {
+        return std::nullopt;
+      }
+      j.release = s->window.lo;
+      j.deadline = s->window.hi;
+    }
+    cand.validate();
+  } catch (const util::CheckError&) {
+    return std::nullopt;
+  }
+  if (!cand.is_laminar() || cand.jobs.empty()) return std::nullopt;
+  const at::Interval h = cand.horizon();
+  std::vector<at::Time> slots;
+  slots.reserve(static_cast<std::size_t>(h.length()));
+  for (at::Time t = h.lo; t < h.hi; ++t) slots.push_back(t);
+  if (!at::feasible_with_slots(cand, slots)) return std::nullopt;
+  return cand;
+}
+
+std::optional<at::Delta> propose_session_delta(const at::Instance& instance,
+                                               util::Rng& rng) {
+  const int n = static_cast<int>(instance.jobs.size());
+  if (n == 0) return std::nullopt;
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  const int pick = static_cast<int>(rng.uniform_int(0, n - 1));
+  const at::Job& j = instance.jobs[static_cast<std::size_t>(pick)];
+  switch (kind) {
+    case 0: {
+      at::Job add = j;
+      add.processing =
+          rng.uniform_int(1, std::max<at::Time>(1, j.window().length()));
+      return at::AddJob{add};
+    }
+    case 1:
+      return at::RemoveJob{pick};
+    case 2: {
+      at::Interval w = j.window();
+      w.lo -= rng.uniform_int(0, 2);
+      w.hi += rng.uniform_int(0, 2);
+      return at::ExtendWindow{pick, w};
+    }
+    default: {
+      at::Interval w = j.window();
+      const at::Time slack = w.length() - j.processing;
+      if (slack <= 0) return std::nullopt;
+      const at::Time cut_lo = rng.uniform_int(0, slack);
+      const at::Time cut_hi = rng.uniform_int(0, slack - cut_lo);
+      return at::ShrinkWindow{pick,
+                              at::Interval{w.lo + cut_lo, w.hi - cut_hi}};
+    }
+  }
+}
+
+std::string delta_comment(const at::Delta& delta) {
+  std::ostringstream os;
+  if (const auto* a = std::get_if<at::AddJob>(&delta)) {
+    os << "# delta add " << a->job.release << ' ' << a->job.deadline << ' '
+       << a->job.processing;
+  } else if (const auto* r = std::get_if<at::RemoveJob>(&delta)) {
+    os << "# delta remove " << r->job;
+  } else if (const auto* e = std::get_if<at::ExtendWindow>(&delta)) {
+    os << "# delta extend " << e->job << ' ' << e->window.lo << ' '
+       << e->window.hi;
+  } else if (const auto* s = std::get_if<at::ShrinkWindow>(&delta)) {
+    os << "# delta shrink " << s->job << ' ' << s->window.lo << ' '
+       << s->window.hi;
+  }
+  return os.str();
+}
+
+std::string write_delta_repro(const std::string& dir,
+                              const DeltaViolation& v) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream name;
+  name << "repro_" << sanitize(v.failure_class) << "_stream" << v.index
+       << ".txt";
+  const std::filesystem::path path = std::filesystem::path(dir) / name.str();
+  std::ofstream os(path);
+  NAT_CHECK_MSG(os.good(), "cannot write repro file " << path.string());
+  io::write_instance(os, v.base);
+  // read_instance stops after the declared job lines, so the file stays
+  // loadable as the base instance; the stream rides along as comments.
+  for (const at::Delta& d : v.deltas) os << delta_comment(d) << '\n';
+  os << "# failure_class " << v.failure_class << '\n';
+  os << "# minimized_from " << v.original_jobs << " jobs, "
+     << v.original_steps << " deltas\n";
+  os << "# detail " << v.detail << '\n';
+  return path.string();
+}
+
+}  // namespace
+
+bool delta_stream_valid(const at::Instance& base,
+                        const std::vector<at::Delta>& deltas) {
+  at::Instance cur = base;
+  try {
+    cur.validate();
+  } catch (const util::CheckError&) {
+    return false;
+  }
+  if (!cur.is_laminar() || cur.jobs.empty()) return false;
+  for (const at::Delta& d : deltas) {
+    auto next = apply_delta_plain(cur, d);
+    if (!next) return false;
+    cur = std::move(*next);
+  }
+  return true;
+}
+
+std::pair<std::string, std::string> check_delta_stream(
+    const at::Instance& base, const std::vector<at::Delta>& deltas) {
+  try {
+    at::SolverSession session(base);
+    session.solve();
+    for (std::size_t k = 0; k < deltas.size(); ++k) {
+      const at::SessionResult& inc = session.apply(deltas[k]);
+      at::SolverSession fresh(session.instance());
+      const at::SessionResult& scr = fresh.solve();
+      if (inc.schedule.assignment != scr.schedule.assignment ||
+          inc.active_slots != scr.active_slots ||
+          inc.repairs != scr.repairs) {
+        std::ostringstream os;
+        os << "step " << k << ": incremental (slots " << inc.active_slots
+           << ", repairs " << inc.repairs
+           << ") diverged from scratch (slots " << scr.active_slots
+           << ", repairs " << scr.repairs << ")";
+        return {"session:divergence", os.str()};
+      }
+      if (std::abs(inc.lp_value - scr.lp_value) >
+          1e-6 * (1.0 + std::abs(scr.lp_value))) {
+        std::ostringstream os;
+        os << "step " << k << ": incremental LP " << inc.lp_value
+           << " != scratch LP " << scr.lp_value;
+        return {"session:lp_divergence", os.str()};
+      }
+    }
+    // The per-group LP optima must sum to the global strengthened LP
+    // (the LP is block-diagonal across window groups).
+    const double global = at::strong_lp_value(session.instance());
+    const double inc_lp = session.solve().lp_value;
+    if (std::abs(inc_lp - global) > 1e-6 * (1.0 + std::abs(global))) {
+      std::ostringstream os;
+      os << "final: session LP " << inc_lp << " != global strengthened LP "
+         << global;
+      return {"session:lp_mismatch", os.str()};
+    }
+  } catch (const util::CheckError& e) {
+    return {classify_failure(e.what()), e.what()};
+  }
+  return {};
+}
+
+void minimize_delta_violation(DeltaViolation& v) {
+  const auto fails_same = [&](const at::Instance& base,
+                              const std::vector<at::Delta>& deltas) {
+    if (!delta_stream_valid(base, deltas)) return false;
+    return check_delta_stream(base, deltas).first == v.failure_class;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Drop deltas one at a time (back to front). Dropping can shift the
+    // meaning of later job indices; delta_stream_valid keeps candidates
+    // well-formed and fails_same keeps them on the original bug.
+    for (int k = static_cast<int>(v.deltas.size()) - 1; k >= 0; --k) {
+      std::vector<at::Delta> cand = v.deltas;
+      cand.erase(cand.begin() + k);
+      if (fails_same(v.base, cand)) {
+        v.deltas = std::move(cand);
+        improved = true;
+      }
+    }
+    // Drop base jobs.
+    for (int j = v.base.num_jobs() - 1; j >= 0; --j) {
+      at::Instance cand = v.base;
+      cand.jobs.erase(cand.jobs.begin() + j);
+      if (fails_same(cand, v.deltas)) {
+        v.base = std::move(cand);
+        improved = true;
+      }
+    }
+    // Shrink the parallelism.
+    while (v.base.g > 1) {
+      at::Instance cand = v.base;
+      --cand.g;
+      if (!fails_same(cand, v.deltas)) break;
+      v.base = std::move(cand);
+      improved = true;
+    }
+  }
+}
+
+DeltaFuzzReport run_delta_fuzz(const DeltaFuzzOptions& options) {
+  DeltaFuzzReport report;
+  util::Rng root(options.seed);
+  const auto start = std::chrono::steady_clock::now();
+  static obs::Counter& c_streams = obs::counter("at.fuzz.delta_streams");
+  static obs::Counter& c_violations =
+      obs::counter("at.fuzz.delta_violations");
+
+  for (int i = 0; i < options.streams; ++i) {
+    if (options.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > options.time_budget_seconds) break;
+    }
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const at::Instance base = generate(i, rng, options.max_jobs);
+    if (base.jobs.empty()) continue;
+
+    // Safe stream: each proposal is simulated and unsafe ones skipped,
+    // so every replayed delta is one the session must accept.
+    std::vector<at::Delta> deltas;
+    {
+      at::Instance cur = base;
+      int guard = 0;
+      while (static_cast<int>(deltas.size()) < options.steps &&
+             ++guard < 20 * options.steps) {
+        const auto delta = propose_session_delta(cur, rng);
+        if (!delta) continue;
+        auto next = apply_delta_plain(cur, *delta);
+        if (!next) continue;
+        cur = std::move(*next);
+        deltas.push_back(*delta);
+      }
+    }
+
+    ++report.streams_run;
+    c_streams.add(1);
+    auto [failure_class, detail] = check_delta_stream(base, deltas);
+    if (failure_class.empty()) continue;
+    c_violations.add(1);
+
+    DeltaViolation v;
+    v.index = i;
+    v.failure_class = std::move(failure_class);
+    v.detail = std::move(detail);
+    v.base = base;
+    v.deltas = std::move(deltas);
+    v.original_jobs = base.num_jobs();
+    v.original_steps = static_cast<int>(v.deltas.size());
+    minimize_delta_violation(v);
+    if (!options.regression_dir.empty()) {
+      v.repro_path = write_delta_repro(options.regression_dir, v);
     }
     report.violations.push_back(std::move(v));
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "activetime/instance.hpp"
+#include "activetime/session.hpp"
 
 namespace nat::verify::fuzz {
 
@@ -75,5 +76,61 @@ at::Instance minimize_violation(const at::Instance& instance,
 
 /// The full loop: generate, check, minimize, persist.
 FuzzReport run_fuzz(const FuzzOptions& options);
+
+// --------------------------------------------------------------------------
+// Delta-mutation family: random safe delta streams through a persistent
+// SolverSession, checking at every step that the incremental result is
+// bit-identical to a from-scratch session on the same instance, and at
+// the end of the stream that the session's LP value matches the global
+// strengthened LP (docs/INCREMENTAL.md, "The determinism contract").
+
+struct DeltaFuzzOptions {
+  int streams = 100;
+  std::uint64_t seed = 1;
+  int steps = 25;     // deltas per stream (proposals, some are skipped)
+  int max_jobs = 30;  // base-instance size cap
+  double time_budget_seconds = 0.0;
+  std::string regression_dir;  // empty = do not persist repros
+};
+
+struct DeltaViolation {
+  int index = -1;             // stream index that produced it
+  std::string failure_class;  // e.g. "session:divergence"
+  std::string detail;
+  at::Instance base;               // minimized base instance
+  std::vector<at::Delta> deltas;   // minimized stream
+  int original_steps = 0;          // stream length before minimization
+  int original_jobs = 0;           // base size before minimization
+  std::string repro_path;          // written file ("" when not persisted)
+};
+
+struct DeltaFuzzReport {
+  int streams_run = 0;
+  std::vector<DeltaViolation> violations;
+};
+
+/// Replays `deltas` through one SolverSession over `base`, comparing
+/// against fresh sessions. Returns {failure_class, detail}; both empty
+/// when every step matches. Streams must be *valid* (each delta applies
+/// cleanly in sequence) — use delta_stream_valid to pre-check.
+std::pair<std::string, std::string> check_delta_stream(
+    const at::Instance& base, const std::vector<at::Delta>& deltas);
+
+/// True iff every delta applies to the evolving instance without
+/// violating bounds/nesting/laminarity/feasibility (plain simulation,
+/// no solves). The minimizer uses this to keep candidate streams valid
+/// while dropping deltas and base jobs.
+bool delta_stream_valid(const at::Instance& base,
+                        const std::vector<at::Delta>& deltas);
+
+/// Greedy minimization: drops deltas (back to front), then base jobs,
+/// then shrinks g — keeping only candidates that stay valid and fail
+/// with the same class.
+void minimize_delta_violation(DeltaViolation& v);
+
+/// The full loop: generate base + stream, replay, minimize, persist.
+/// Repro files are `activetime v1` instances followed by `# delta ...`
+/// comment lines (one per delta), so they stay loadable as instances.
+DeltaFuzzReport run_delta_fuzz(const DeltaFuzzOptions& options);
 
 }  // namespace nat::verify::fuzz

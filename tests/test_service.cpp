@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "obs/report.hpp"
 #include "service/batch.hpp"
+#include "service/sessions.hpp"
 #include "util/check.hpp"
 
 namespace nat::service {
@@ -205,6 +207,156 @@ TEST(Service, CellToJsonIsParseableAndEscaped) {
   EXPECT_EQ(j.find("id")->as_string(), cell.id);
   EXPECT_EQ(j.find("error")->as_string(), cell.error);
   EXPECT_EQ(j.find("jobs"), nullptr);  // unset fields are omitted
+}
+
+// ---------------------------------------------------------------------------
+// Session protocol (service/sessions.hpp): stateful JSONL ops routed
+// through persistent incremental SolverSessions, same per-line fault
+// boundary as the batch cells.
+
+TEST(Sessions, OpenDeltaCloseLifecycle) {
+  SessionManager manager;
+  SessionOpResult r = manager.process_line(
+      R"({"op":"open","session":"s","g":1,"jobs":[[0,4,2],[1,4,1]]})", 0);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.op, "open");
+  EXPECT_EQ(r.session, "s");
+  EXPECT_EQ(r.jobs, 2);
+  EXPECT_GT(r.active_slots, 0);
+  EXPECT_EQ(manager.open_sessions(), 1);
+  const std::int64_t slots_before = r.active_slots;
+
+  r = manager.process_line(
+      R"({"op":"delta","session":"s","kind":"add","job":[10,14,3]})", 1);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.jobs, 3);
+  EXPECT_GT(r.active_slots, slots_before);
+  // The new job lands in its own window group: one group re-solved, the
+  // untouched group reused from cache.
+  EXPECT_EQ(r.groups_resolved, 1);
+  EXPECT_EQ(r.groups_reused, 1);
+
+  r = manager.process_line(
+      R"({"op":"delta","session":"s","kind":"remove","index":2})", 2);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.jobs, 2);
+  EXPECT_EQ(r.active_slots, slots_before);
+
+  r = manager.process_line(R"({"op":"close","session":"s"})", 3);
+  EXPECT_EQ(r.status, CellStatus::kSolved);
+  EXPECT_EQ(manager.open_sessions(), 0);
+}
+
+TEST(Sessions, FaultBoundaryKeepsSessionUsable) {
+  SessionManager manager;
+  ASSERT_EQ(manager
+                .process_line(
+                    R"({"op":"open","session":"s","g":1,"jobs":[[0,4,2]]})", 0)
+                .status,
+            CellStatus::kSolved);
+
+  // Out-of-range delta: error record, session survives on the pre-delta
+  // instance.
+  SessionOpResult r = manager.process_line(
+      R"({"op":"delta","session":"s","kind":"remove","index":9})", 1);
+  EXPECT_EQ(r.status, CellStatus::kError);
+  EXPECT_EQ(manager.open_sessions(), 1);
+
+  // Malformed kinds and payloads are input errors, not crashes.
+  EXPECT_EQ(manager.process_line(R"({"op":"delta","session":"s"})", 2)
+                .failure_class,
+            "input:parse");
+  EXPECT_EQ(
+      manager
+          .process_line(
+              R"({"op":"delta","session":"s","kind":"warp","index":0})", 3)
+          .failure_class,
+      "input:parse");
+  EXPECT_EQ(manager.process_line("not json", 4).failure_class, "input:parse");
+
+  // The session still accepts valid deltas afterwards.
+  r = manager.process_line(
+      R"({"op":"delta","session":"s","kind":"extend","index":0,"window":[0,5]})",
+      5);
+  EXPECT_EQ(r.status, CellStatus::kSolved) << r.error;
+}
+
+TEST(Sessions, TaxonomyClassesForProtocolMisuse) {
+  SessionManager manager;
+  EXPECT_EQ(manager.process_line(R"({"op":"close","session":"x"})", 0)
+                .failure_class,
+            "session:unknown");
+  EXPECT_EQ(
+      manager
+          .process_line(
+              R"({"op":"delta","session":"x","kind":"remove","index":0})", 1)
+          .failure_class,
+      "session:unknown");
+  ASSERT_EQ(manager
+                .process_line(
+                    R"({"op":"open","session":"x","g":1,"jobs":[[0,2,1]]})", 2)
+                .status,
+            CellStatus::kSolved);
+  EXPECT_EQ(manager
+                .process_line(
+                    R"({"op":"open","session":"x","g":1,"jobs":[[0,2,1]]})", 3)
+                .failure_class,
+            "session:exists");
+  EXPECT_EQ(manager.process_line(R"({"op":"ping","session":"x"})", 4)
+                .failure_class,
+            "input:op");
+  // A job that cannot fit its own window fails validation.
+  EXPECT_EQ(manager
+                .process_line(
+                    R"({"op":"open","session":"y","g":1,"jobs":[[0,2,9]]})", 5)
+                .failure_class,
+            "input:validate");
+  // A valid but overcommitted instance (volume 4 into g*|window| = 2)
+  // is classified like the batch cells; no session is left behind.
+  const SessionOpResult r = manager.process_line(
+      R"({"op":"open","session":"y","g":1,"jobs":[[0,2,2],[0,2,2]]})", 6);
+  EXPECT_EQ(r.status, CellStatus::kError);
+  EXPECT_EQ(r.failure_class, "infeasible");
+  EXPECT_EQ(manager.open_sessions(), 1);
+}
+
+TEST(Sessions, RecordJsonRoundTrips) {
+  SessionManager manager;
+  const SessionOpResult r = manager.process_line(
+      R"({"op":"open","session":"s","g":2,"jobs":[[0,3,2],[0,3,2]]})", 11);
+  const std::string line = session_op_to_json(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const obs::Json j = obs::Json::parse(line);
+  EXPECT_EQ(j.find("index")->as_int(), 11);
+  EXPECT_EQ(j.find("op")->as_string(), "open");
+  EXPECT_EQ(j.find("session")->as_string(), "s");
+  EXPECT_EQ(j.find("status")->as_string(), "solved");
+  EXPECT_EQ(j.find("jobs")->as_int(), 2);
+  EXPECT_NE(j.find("active_slots"), nullptr);
+  EXPECT_NE(j.find("groups_resolved"), nullptr);
+  EXPECT_NE(j.find("lp_warm_hits"), nullptr);
+}
+
+TEST(Sessions, ParseDeltaMatchesSessionTypes) {
+  const obs::Json add = obs::Json::parse(
+      R"({"kind":"add","job":[1,5,2]})");
+  const at::Delta d1 = parse_delta(add);
+  ASSERT_TRUE(std::holds_alternative<at::AddJob>(d1));
+  EXPECT_EQ(std::get<at::AddJob>(d1).job.release, 1);
+  EXPECT_EQ(std::get<at::AddJob>(d1).job.deadline, 5);
+  EXPECT_EQ(std::get<at::AddJob>(d1).job.processing, 2);
+
+  const at::Delta d2 = parse_delta(
+      obs::Json::parse(R"({"kind":"shrink","index":3,"window":[2,4]})"));
+  ASSERT_TRUE(std::holds_alternative<at::ShrinkWindow>(d2));
+  EXPECT_EQ(std::get<at::ShrinkWindow>(d2).job, 3);
+  EXPECT_EQ(std::get<at::ShrinkWindow>(d2).window.lo, 2);
+  EXPECT_EQ(std::get<at::ShrinkWindow>(d2).window.hi, 4);
+
+  EXPECT_THROW(parse_delta(obs::Json::parse(R"({"kind":"add"})")),
+               util::CheckError);
+  EXPECT_THROW(parse_delta(obs::Json::parse(R"({"kind":"extend","index":0})")),
+               util::CheckError);
 }
 
 }  // namespace

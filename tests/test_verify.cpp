@@ -243,6 +243,64 @@ TEST(Fuzz, InjectedBudgetBugIsCaughtAndMinimized) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DeltaFuzz, SmokeRunIsClean) {
+  verify::fuzz::DeltaFuzzOptions options;
+  options.streams = 10;
+  options.steps = 12;
+  options.seed = 5;
+  const verify::fuzz::DeltaFuzzReport report =
+      verify::fuzz::run_delta_fuzz(options);
+  EXPECT_EQ(report.streams_run, 10);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << "delta fuzz violation [" << v.failure_class
+                  << "] at stream " << v.index << ": " << v.detail;
+  }
+}
+
+TEST(DeltaFuzz, StreamValiditySimulation) {
+  at::Instance base;
+  base.g = 2;
+  base.jobs = {at::Job{0, 4, 2}, at::Job{1, 3, 1}};
+
+  // A well-formed stream replays cleanly end to end.
+  const std::vector<at::Delta> good = {
+      at::AddJob{at::Job{0, 4, 1}},
+      at::ShrinkWindow{0, at::Interval{0, 3}},
+      at::RemoveJob{2},
+  };
+  EXPECT_TRUE(verify::fuzz::delta_stream_valid(base, good));
+  const auto [cls, detail] = verify::fuzz::check_delta_stream(base, good);
+  EXPECT_EQ(cls, "") << detail;
+
+  // Out-of-range indices, broken nesting, and emptied instances are
+  // all rejected by the simulation (no solver involved).
+  EXPECT_FALSE(verify::fuzz::delta_stream_valid(
+      base, {at::RemoveJob{5}}));
+  EXPECT_FALSE(verify::fuzz::delta_stream_valid(
+      base, {at::ExtendWindow{1, at::Interval{2, 3}}}));  // drops release
+  EXPECT_FALSE(verify::fuzz::delta_stream_valid(
+      base, {at::RemoveJob{0}, at::RemoveJob{0}}));  // nothing left
+  // A remove that is valid only before an earlier drop shifts indices:
+  // the simulation tracks the evolving instance, not the base.
+  EXPECT_TRUE(verify::fuzz::delta_stream_valid(
+      base, {at::RemoveJob{1}}));
+}
+
+TEST(DeltaFuzz, MinimizerKeepsValidityAndIsNoOpOnPassingStreams) {
+  verify::fuzz::DeltaViolation v;
+  v.base.g = 2;
+  v.base.jobs = {at::Job{0, 4, 2}, at::Job{1, 3, 1}};
+  v.deltas = {at::AddJob{at::Job{0, 4, 1}}, at::RemoveJob{2}};
+  v.failure_class = "session:divergence";  // never produced by this stream
+  v.original_jobs = 2;
+  v.original_steps = 2;
+  verify::fuzz::minimize_delta_violation(v);
+  // No candidate reproduces a class the stream does not fail with, so
+  // the violation is returned unchanged.
+  EXPECT_EQ(v.base.num_jobs(), 2);
+  EXPECT_EQ(v.deltas.size(), 2u);
+}
+
 TEST(Fuzz, MinimizerPreservesTheFailureClass) {
   // Minimizing a *passing* instance is a no-op contract: with no
   // failure class to preserve, every candidate "fails differently", so

@@ -28,6 +28,9 @@ Comparison rules (docs/PERFORMANCE.md, "The perf gate"):
     and the ceiling-sweep worker speedups must stay >= SWEEP_FLOOR —
     the latter only on machines with >1 hardware thread, since the
     sweep intentionally falls back to serial on single-core hosts.
+    The incremental-vs-scratch geometric-mean speedup of
+    BENCH_delta.json must stay >= DELTA_FLOOR on any hardware (it is
+    a ratio of two measurements on the same machine).
 
 Bumping a baseline intentionally (new workload, new hardware, accepted
 slowdown): re-run the benches and either pass --update here or copy the
@@ -49,9 +52,11 @@ PIVOT_TOL = 0.10        # +-10% on pivot/iteration-style counts
 SWEEP_FLOOR = 0.90      # ceiling-sweep speedup floor (multi-core only)
 
 EXACT_KEYS = {"models", "instances", "rows", "cols", "nodes", "reps",
-              "queries"}
+              "queries", "jobs", "groups", "steps"}
 COUNT_KEYS = {"sparse_pivots", "sparse_bound_flips",
-              "sparse_refactorizations", "dense_iterations"}
+              "sparse_refactorizations", "dense_iterations",
+              "groups_resolved", "groups_reused", "lp_warm_hits",
+              "lp_warm_repairs", "lp_cold_fallbacks"}
 
 # (file, cell-array key, cell name, speedup key, floor, needs_multicore)
 SPEEDUP_FLOORS = [
@@ -63,7 +68,17 @@ SPEEDUP_FLOORS = [
      "speedup_workers4", SWEEP_FLOOR, True),
 ]
 
-CELL_ARRAY_KEYS = ("lp_cells", "oracle_cells", "ceiling_cells")
+CELL_ARRAY_KEYS = ("lp_cells", "oracle_cells", "ceiling_cells",
+                   "delta_cells")
+
+# Top-level (document-wide) ratio floors: (file, key, floor). The
+# incremental session engine must beat from-scratch re-solves by at
+# least DELTA_FLOOR in geometric mean or it has lost its reason to
+# exist (docs/INCREMENTAL.md).
+DELTA_FLOOR = 2.0
+DOC_FLOORS = [
+    ("BENCH_delta.json", "geomean_speedup", DELTA_FLOOR),
+]
 
 
 def recorded_concurrency(doc):
@@ -174,6 +189,20 @@ class Gate:
                 if val < floor:
                     self.fail(f"{where}/{arr_key}/{ccell.get('name')}/{key}: "
                               f"{val:.2f} below floor {floor:.2f}")
+
+        for (f, key, floor) in DOC_FLOORS:
+            if f != fname:
+                continue
+            val = cur.get(key)
+            if val is None:
+                self.fail(f"{where}: document key '{key}' missing")
+                continue
+            # The injected slowdown hits the fast (incremental) side of
+            # the ratio, so the self-test trips this floor too.
+            val = val / slowdown
+            if val < floor:
+                self.fail(f"{where}/{key}: {val:.2f} below floor "
+                          f"{floor:.2f}")
 
 
 def main():
