@@ -1,0 +1,249 @@
+// bench_daemon — tail-latency fairness of the multi-tenant daemon.
+//
+// A flooder tenant submits a burst of solve requests immediately
+// before EVERY request of an interactive tenant, which runs
+// closed-loop (one outstanding at a time, waiting for its record).
+// The burst-per-request shape matters: with a single preloaded flood
+// only the first interactive request would ever queue behind it, and a
+// p99 over the run would not see the starvation at all. Every request
+// carries the SAME payload, so solve time is a constant and the
+// measured spread is pure scheduling. Three phases, one daemon each:
+//
+//   unloaded   interactive tenant alone — the latency floor
+//   fair       bursts + interactive under min-vruntime dispatch
+//   fifo       bursts + interactive under arrival-order dispatch
+//
+// Headline doc keys (gated by tools/perf_gate.py):
+//
+//   interactive_p99_ratio = fair p99 / unloaded p99. The fair queue
+//     bounds an interactive request's wait to roughly one in-flight
+//     flood solve, so this must stay <= 5.0.
+//   fifo_p99_ratio = fifo p99 / unloaded p99. FIFO parks each
+//     interactive request behind its whole preceding burst (~17x the
+//     floor at burst 16), so this must stay >= 5.0 — if it does not,
+//     the flood is too small to demonstrate starvation and the bench
+//     is meaningless.
+//
+//   $ ./bench/bench_daemon [--full] [--threads N] [--out file]
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "daemon/daemon.hpp"
+#include "io/table.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace nat;
+
+namespace {
+
+/// Completion bus: resolves record waits by daemon request index.
+class RecordBus {
+ public:
+  nat::daemon::RecordSink sink() {
+    return [this](const std::string& record) {
+      obs::Json j = obs::Json::parse(record);
+      const obs::Json* idx = j.find("index");
+      NAT_CHECK_MSG(idx != nullptr && idx->is_number(),
+                    "daemon record without an index: " << record);
+      std::lock_guard<std::mutex> lk(mu_);
+      by_index_.emplace(idx->as_int(), std::move(j));
+      cv_.notify_all();
+    };
+  }
+
+  obs::Json wait(std::int64_t index) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return by_index_.count(index) != 0; });
+    return by_index_.at(index);
+  }
+
+  /// wall_ms (queue + solve) of one completed request.
+  double wall_ms(std::int64_t index) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = by_index_.find(index);
+    NAT_CHECK_MSG(it != by_index_.end(), "no record for index " << index);
+    const obs::Json* status = it->second.find("status");
+    NAT_CHECK_MSG(status != nullptr && status->as_string() == "solved",
+                  "request " << index << " did not solve: "
+                             << it->second.dump());
+    return it->second.find("wall_ms")->as_double();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::int64_t, obs::Json> by_index_;
+};
+
+std::string payload_json(const at::Instance& inst) {
+  std::string s = "\"g\":" + std::to_string(inst.g) + ",\"jobs\":[";
+  for (std::size_t i = 0; i < inst.jobs.size(); ++i) {
+    const at::Job& job = inst.jobs[i];
+    if (i != 0) s += ",";
+    s += "[" + std::to_string(job.release) + "," +
+         std::to_string(job.deadline) + "," + std::to_string(job.processing) +
+         "]";
+  }
+  return s + "]";
+}
+
+std::string solve_line(const std::string& tenant, const std::string& payload) {
+  return "{\"op\":\"solve\",\"tenant\":\"" + tenant + "\"," + payload + "}";
+}
+
+double percentile(std::vector<double> v, double p) {
+  NAT_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  if (idx > 0) --idx;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct PhaseResult {
+  std::vector<double> interactive_ms;  // wall_ms per interactive request
+  double wall_seconds = 0.0;           // whole phase, incl. flood drain
+  std::int64_t completed = 0;          // flood + interactive
+};
+
+/// Submits `burst` flooder requests immediately before each of the
+/// `inter_n` closed-loop interactive requests, then drains the rest.
+PhaseResult run_phase(bool fifo, int burst, int inter_n,
+                      const std::string& payload, std::size_t threads) {
+  RecordBus bus;
+  nat::daemon::DaemonOptions options;
+  options.threads = threads;
+  options.fifo = fifo;
+  options.tenant_defaults.max_queue_depth =
+      static_cast<std::size_t>(burst) * inter_n + inter_n + 8;
+  options.sink = bus.sink();
+  nat::daemon::Daemon daemon(options);
+
+  PhaseResult result;
+  const util::Stopwatch wall;
+  std::int64_t next_index = 0;
+  for (int i = 0; i < inter_n; ++i) {
+    for (int b = 0; b < burst; ++b) {
+      NAT_CHECK(daemon.submit_line(solve_line("flood", payload)));
+      ++next_index;
+    }
+    const std::int64_t index = next_index++;
+    NAT_CHECK(daemon.submit_line(solve_line("ui", payload)));
+    bus.wait(index);
+    result.interactive_ms.push_back(bus.wall_ms(index));
+  }
+  daemon.drain();
+  result.wall_seconds = wall.seconds();
+  const std::int64_t expected =
+      static_cast<std::int64_t>(burst + 1) * inter_n;
+  const nat::daemon::DaemonStats stats = daemon.stats();
+  NAT_CHECK_MSG(stats.solved == expected,
+                "phase lost requests: " << stats.solved << " of " << expected
+                                        << " solved");
+  result.completed = stats.solved;
+  return result;
+}
+
+obs::Json phase_json(const PhaseResult& r) {
+  obs::Json j = obs::Json::object();
+  j["p50_ms"] = percentile(r.interactive_ms, 50.0);
+  j["p99_ms"] = percentile(r.interactive_ms, 99.0);
+  j["wall_seconds"] = r.wall_seconds;
+  j["throughput_rps"] =
+      static_cast<double>(r.completed) / std::max(r.wall_seconds, 1e-9);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::size_t threads = 1;  // pinned: dispatch order is the experiment
+  std::string out_path = "BENCH_daemon.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_daemon [--full] [--threads N] [--out file]\n";
+      return 2;
+    }
+  }
+  const int burst = 16;
+  // Enough interactive samples that p99 survives one stray OS hiccup
+  // (nearest-rank p99 of 120+ samples is not the max).
+  const int inter_n = full ? 240 : 120;
+
+  // One fixed contended instance for every request: constant solve
+  // cost, so latency spread is scheduling, not workload. The largest
+  // generator output (~0.4ms/solve) keeps per-request scheduler jitter
+  // small relative to a solve.
+  const at::Instance instance = bench::contended_instance(33, 10);
+  const std::string payload = payload_json(instance);
+  std::cout << "# bench_daemon — tenant fairness under flood\n\n"
+            << "payload: " << instance.num_jobs() << " jobs, g=" << instance.g
+            << "; burst=" << burst << ", interactive=" << inter_n
+            << ", threads=" << threads << (full ? "" : " (smoke)") << "\n\n";
+
+  const PhaseResult unloaded =
+      run_phase(/*fifo=*/false, /*burst=*/0, inter_n, payload, threads);
+  const PhaseResult fair =
+      run_phase(/*fifo=*/false, burst, inter_n, payload, threads);
+  const PhaseResult fifo =
+      run_phase(/*fifo=*/true, burst, inter_n, payload, threads);
+
+  const double unloaded_p99 = percentile(unloaded.interactive_ms, 99.0);
+  const double fair_ratio =
+      percentile(fair.interactive_ms, 99.0) / unloaded_p99;
+  const double fifo_ratio =
+      percentile(fifo.interactive_ms, 99.0) / unloaded_p99;
+
+  io::Table table({"phase", "inter p50 ms", "inter p99 ms", "phase s",
+                   "req/s"});
+  const auto row = [&](const char* name, const PhaseResult& r) {
+    table.add_row(
+        {name, io::Table::num(percentile(r.interactive_ms, 50.0)),
+         io::Table::num(percentile(r.interactive_ms, 99.0)),
+         io::Table::num(r.wall_seconds),
+         io::Table::num(static_cast<double>(r.completed) /
+                            std::max(r.wall_seconds, 1e-9),
+                        1)});
+  };
+  row("unloaded", unloaded);
+  row("fair", fair);
+  row("fifo", fifo);
+  table.print_markdown(std::cout);
+  std::cout << "\ninteractive_p99_ratio (fair/unloaded): "
+            << io::Table::num(fair_ratio, 2) << "  (gate: <= 5)\n"
+            << "fifo_p99_ratio (fifo/unloaded):        "
+            << io::Table::num(fifo_ratio, 2) << "  (gate: >= 5)\n";
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "nat-bench-daemon-v1";
+  doc["smoke"] = !full;
+  doc["daemon_threads"] = static_cast<std::int64_t>(threads);
+  doc["flood_burst"] = static_cast<std::int64_t>(burst);
+  doc["interactive_requests"] = static_cast<std::int64_t>(inter_n);
+  doc["payload_jobs"] = static_cast<std::int64_t>(instance.num_jobs());
+  doc["unloaded"] = phase_json(unloaded);
+  doc["fair"] = phase_json(fair);
+  doc["fifo"] = phase_json(fifo);
+  doc["interactive_p99_ratio"] = fair_ratio;
+  doc["fifo_p99_ratio"] = fifo_ratio;
+  bench::write_bench_json(doc, out_path);
+  return 0;
+}

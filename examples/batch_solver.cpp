@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "service/batch.hpp"
+#include "service/jsonl.hpp"
 #include "service/sessions.hpp"
 
 namespace {
@@ -53,13 +54,12 @@ int run_sessions(std::istream& in, bool summary) {
   int index = 0;
   int solved = 0;
   int errors = 0;
-  while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+  while (nat::service::read_jsonl_record(in, &line)) {
     const nat::service::SessionOpResult r =
         manager.process_line(line, index++);
     (r.status == nat::service::CellStatus::kSolved ? solved : errors) += 1;
-    std::cout << nat::service::session_op_to_json(r) << '\n' << std::flush;
+    nat::service::write_jsonl_record(std::cout,
+                                     nat::service::session_op_to_json(r));
   }
   if (summary) {
     std::cerr << "sessions: " << index << " ops, " << solved << " ok, "
@@ -71,11 +71,7 @@ int run_sessions(std::istream& in, bool summary) {
 
 bool read_stream(std::istream& in, std::vector<nat::service::BatchItem>* out) {
   std::string line;
-  while (std::getline(in, line)) {
-    // Blank lines and # comments are ignored so hand-edited batches
-    // stay readable.
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+  while (nat::service::read_jsonl_record(in, &line)) {
     nat::service::BatchItem item;
     item.text = line;
     item.format = nat::service::BatchItem::Format::kJson;
@@ -186,7 +182,7 @@ int main(int argc, char** argv) {
 
   const service::BatchReport report = service::solve_batch(
       items, options, [](const service::CellResult& cell) {
-        std::cout << service::cell_to_json(cell) << '\n' << std::flush;
+        service::write_jsonl_record(std::cout, service::cell_to_json(cell));
       });
 
   if (summary) {

@@ -100,6 +100,14 @@ class SolverSession {
   /// rolls back to its pre-delta instance and result and rethrows.
   const SessionResult& apply(const Delta& delta);
 
+  /// Re-points the cancel token polled by subsequent solve()/apply()
+  /// calls (nullptr = none). Long-lived daemon sessions overlay one
+  /// per-request token this way; a cancellation mid-apply rolls the
+  /// session back like any other failure.
+  void set_cancel(const util::CancelToken* cancel) {
+    options_.cancel = cancel;
+  }
+
   const Instance& instance() const { return instance_; }
   const SessionStats& stats() const { return stats_; }
   int num_jobs() const { return static_cast<int>(instance_.jobs.size()); }

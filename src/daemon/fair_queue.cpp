@@ -1,0 +1,155 @@
+#include "daemon/fair_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace nat::daemon {
+
+FairQueue::FairQueue(FairQueueOptions options) : options_(options) {
+  NAT_CHECK_MSG(options_.tenant_defaults.weight > 0.0,
+                "tenant default weight must be > 0");
+}
+
+FairQueue::Tenant& FairQueue::ensure(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.config = options_.tenant_defaults;
+    // A newborn tenant starts at the current min_vruntime, not at 0:
+    // joining late must not grant a backlog of virtual time.
+    t.vruntime_ns = min_vruntime_ns_;
+    it = tenants_.emplace(tenant, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void FairQueue::configure_tenant(const std::string& tenant,
+                                 TenantConfig config) {
+  NAT_CHECK_MSG(config.weight > 0.0,
+                "tenant \"" << tenant << "\": weight must be > 0, got "
+                            << config.weight);
+  NAT_CHECK_MSG(config.max_queue_depth >= 1 && config.max_in_flight >= 1,
+                "tenant \"" << tenant
+                            << "\": queue-depth and in-flight caps must be"
+                               " >= 1");
+  ensure(tenant).config = config;
+}
+
+bool FairQueue::has_tenant(const std::string& tenant) const {
+  return tenants_.count(tenant) != 0;
+}
+
+TenantConfig FairQueue::config(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? options_.tenant_defaults : it->second.config;
+}
+
+bool FairQueue::try_enqueue(const std::string& tenant, std::uint64_t ticket) {
+  Tenant& t = ensure(tenant);
+  if (t.queue.size() >= static_cast<std::size_t>(t.config.max_queue_depth)) {
+    ++t.rejected;
+    return false;
+  }
+  if (t.queue.empty() && t.in_flight == 0) {
+    // Waking from idle: clamp forward so time spent sleeping is not
+    // banked as credit against the tenants that kept working.
+    t.vruntime_ns = std::max(t.vruntime_ns, min_vruntime_ns_);
+  }
+  t.queue.emplace_back(next_seq_++, ticket);
+  ++queued_total_;
+  return true;
+}
+
+bool FairQueue::pick(std::uint64_t* ticket, std::string* tenant) {
+  Tenant* best = nullptr;
+  const std::string* best_name = nullptr;
+  double min_runnable = std::numeric_limits<double>::infinity();
+  for (auto& [name, t] : tenants_) {
+    if (t.queue.empty()) continue;
+    if (options_.fifo) {
+      // Global arrival order; caps and vruntime intentionally ignored
+      // (this is the starvation-prone baseline).
+      if (best == nullptr || t.queue.front().first < best->queue.front().first) {
+        best = &t;
+        best_name = &name;
+      }
+      continue;
+    }
+    if (t.in_flight >= t.config.max_in_flight) continue;
+    min_runnable = std::min(min_runnable, t.vruntime_ns);
+    // Strict < plus name-ordered iteration = deterministic tie-break.
+    if (best == nullptr || t.vruntime_ns < best->vruntime_ns) {
+      best = &t;
+      best_name = &name;
+    }
+  }
+  if (best == nullptr) return false;
+  if (!options_.fifo) {
+    // min_vruntime advances monotonically with the runnable frontier.
+    min_vruntime_ns_ = std::max(min_vruntime_ns_, min_runnable);
+  }
+  *ticket = best->queue.front().second;
+  *tenant = *best_name;
+  best->queue.pop_front();
+  --queued_total_;
+  ++best->in_flight;
+  ++best->dispatched;
+  return true;
+}
+
+void FairQueue::charge(const std::string& tenant, std::int64_t wall_ns) {
+  const auto it = tenants_.find(tenant);
+  NAT_CHECK_MSG(it != tenants_.end() && it->second.in_flight > 0,
+                "charge(\"" << tenant << "\") without a matching pick()");
+  Tenant& t = it->second;
+  t.vruntime_ns += static_cast<double>(std::max<std::int64_t>(wall_ns, 0)) /
+                   t.config.weight;
+  --t.in_flight;
+}
+
+std::size_t FairQueue::queued(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queue.size();
+}
+
+int FairQueue::in_flight(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.in_flight;
+}
+
+double FairQueue::vruntime_ms(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.vruntime_ns / 1e6;
+}
+
+double FairQueue::vruntime_lag_ms() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  int active = 0;
+  for (const auto& [name, t] : tenants_) {
+    if (t.queue.empty() && t.in_flight == 0) continue;
+    lo = std::min(lo, t.vruntime_ns);
+    hi = std::max(hi, t.vruntime_ns);
+    ++active;
+  }
+  return active >= 2 ? (hi - lo) / 1e6 : 0.0;
+}
+
+std::map<std::string, TenantCounters> FairQueue::counters() const {
+  std::map<std::string, TenantCounters> out;
+  for (const auto& [name, t] : tenants_) {
+    TenantCounters c;
+    c.weight = t.config.weight;
+    c.queued = t.queue.size();
+    c.in_flight = t.in_flight;
+    c.dispatched = t.dispatched;
+    c.rejected = t.rejected;
+    c.vruntime_ms = t.vruntime_ns / 1e6;
+    out.emplace(name, c);
+  }
+  return out;
+}
+
+}  // namespace nat::daemon

@@ -1,0 +1,136 @@
+// CFS-style virtual-runtime fair queue for multi-tenant request
+// dispatch (docs/DAEMON.md).
+//
+// Each tenant owns a FIFO of queued request tickets and a *virtual
+// runtime*: every completed request charges
+//
+//     vruntime += measured_wall_ns / weight
+//
+// and the dispatcher always runs the head request of the runnable
+// tenant with the minimum vruntime (ties broken by tenant name, so
+// dispatch order is a deterministic function of the charge sequence).
+// A tenant with weight w therefore converges to a w-proportional share
+// of solver time, and a tenant flooding thousands of heavy requests
+// cannot starve a small interactive tenant: after one interactive
+// completion the interactive vruntime is still minimal, so its next
+// request jumps the flood regardless of queue depths.
+//
+// Two CFS details matter for fairness and are kept here:
+//  * min_vruntime is the monotone maximum of the minimum runnable
+//    vruntime ever observed; a tenant that goes idle and comes back
+//    re-enters at max(own, min_vruntime), so sleeping never banks
+//    credit that would later let it monopolize the workers.
+//  * Admission control is per tenant: a queue-depth cap bounds how
+//    much latency a flood can buy itself, and an in-flight cap (1 by
+//    default) keeps a tenant's requests serial — which is also what
+//    makes per-tenant session streams well-ordered.
+//
+// The queue is a pure, clock-free data structure: it never reads a
+// timer, the caller measures and charges wall time (the daemon) or
+// synthetic time (the deterministic fairness tests in
+// tests/test_daemon.cpp). Not thread-safe; the daemon drives it under
+// its scheduler mutex.
+//
+// FIFO mode (`FairQueueOptions::fifo`) dispatches by global arrival
+// order, ignoring vruntime and in-flight caps — the naive single-queue
+// baseline that bench_daemon compares fairness against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace nat::daemon {
+
+struct TenantConfig {
+  // Share multiplier: vruntime accrues at 1/weight. Must be > 0.
+  double weight = 1.0;
+  // Admission: queued (not yet dispatched) requests per tenant.
+  int max_queue_depth = 256;
+  // Concurrently executing requests per tenant. 1 keeps a tenant's
+  // requests strictly serial (required for its session stream order).
+  int max_in_flight = 1;
+};
+
+struct FairQueueOptions {
+  bool fifo = false;
+  TenantConfig tenant_defaults;
+};
+
+/// Per-tenant counters exposed to the daemon's stats op.
+struct TenantCounters {
+  double weight = 1.0;
+  std::size_t queued = 0;
+  int in_flight = 0;
+  std::int64_t dispatched = 0;
+  std::int64_t rejected = 0;
+  double vruntime_ms = 0.0;
+};
+
+class FairQueue {
+ public:
+  explicit FairQueue(FairQueueOptions options = {});
+
+  /// Registers `tenant` (or reconfigures it in place; queued work and
+  /// accrued vruntime are kept). Weight must be > 0.
+  void configure_tenant(const std::string& tenant, TenantConfig config);
+
+  bool has_tenant(const std::string& tenant) const;
+
+  /// The tenant's current config (the defaults when unknown) — the
+  /// base for partial reconfiguration by the daemon's tenant op.
+  TenantConfig config(const std::string& tenant) const;
+
+  /// Admission + enqueue of an opaque caller-owned ticket. Creates the
+  /// tenant with the default config on first contact. Returns false —
+  /// and counts a rejection — when the tenant's queue-depth cap is
+  /// reached.
+  bool try_enqueue(const std::string& tenant, std::uint64_t ticket);
+
+  /// Dequeues the next ticket to run: the FIFO head of the minimum-
+  /// vruntime runnable tenant (queue non-empty, in-flight below cap),
+  /// or the globally oldest ticket in FIFO mode. Marks the tenant one
+  /// more in flight; pair every successful pick with a later charge().
+  /// Returns false when no tenant is runnable.
+  bool pick(std::uint64_t* ticket, std::string* tenant);
+
+  /// Completion: charges `wall_ns / weight` of virtual runtime and
+  /// releases the in-flight slot taken by pick().
+  void charge(const std::string& tenant, std::int64_t wall_ns);
+
+  std::size_t queued() const { return queued_total_; }
+  std::size_t queued(const std::string& tenant) const;
+  int in_flight(const std::string& tenant) const;
+  double vruntime_ms(const std::string& tenant) const;
+
+  /// Spread between the largest and smallest vruntime over tenants
+  /// that currently have queued or in-flight work (0 when fewer than
+  /// two are active) — the at.daemon.vruntime_lag_ms gauge.
+  double vruntime_lag_ms() const;
+
+  /// Name-sorted per-tenant counters (every tenant ever seen).
+  std::map<std::string, TenantCounters> counters() const;
+
+ private:
+  struct Tenant {
+    TenantConfig config;
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> queue;  // (seq, ticket)
+    int in_flight = 0;
+    double vruntime_ns = 0.0;
+    std::int64_t dispatched = 0;
+    std::int64_t rejected = 0;
+  };
+
+  Tenant& ensure(const std::string& tenant);
+
+  FairQueueOptions options_;
+  // Ordered by name: the min-vruntime scan breaks ties by iteration
+  // order, so dispatch stays deterministic across runs.
+  std::map<std::string, Tenant> tenants_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t queued_total_ = 0;
+  double min_vruntime_ns_ = 0.0;
+};
+
+}  // namespace nat::daemon

@@ -10,11 +10,11 @@
 #include "obs/counters.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "service/jsonl.hpp"
 #include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
-#include "verify/verify.hpp"
 
 namespace nat::service {
 
@@ -61,7 +61,7 @@ at::Instance parse_json_instance(const std::string& text) {
   return instance;
 }
 
-std::string cell_to_json(const CellResult& cell) {
+obs::Json cell_record(const CellResult& cell) {
   obs::Json j = obs::Json::object();
   j["index"] = static_cast<std::int64_t>(cell.index);
   j["id"] = cell.id;
@@ -73,7 +73,11 @@ std::string cell_to_json(const CellResult& cell) {
   if (cell.active_slots >= 0) j["active_slots"] = cell.active_slots;
   if (cell.lp_value >= 0.0) j["lp_value"] = cell.lp_value;
   j["wall_ms"] = static_cast<double>(cell.wall_ns) / 1e6;
-  return j.dump();
+  return j;
+}
+
+std::string cell_to_json(const CellResult& cell) {
+  return cell_record(cell).dump();
 }
 
 namespace {
@@ -88,26 +92,37 @@ CellResult& fail(CellResult& r, CellStatus status, std::string failure_class,
   return r;
 }
 
-/// Runs one cell inside its fault boundary. Never throws.
+/// solve_batch's per-cell wrapper: the keep_going stop check in front
+/// of the shared fault boundary. Never throws.
 CellResult run_cell(const BatchItem& item, int index,
                     const BatchOptions& options,
                     const std::atomic<bool>* stop) {
+  if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+    const util::Stopwatch sw;
+    CellResult r;
+    r.index = index;
+    r.id = item.id.empty() ? "cell-" + std::to_string(index) : item.id;
+    return fail(r, CellStatus::kSkipped, "skipped",
+                "skipped: an earlier cell failed with keep_going off", sw);
+  }
+  return solve_cell(item, index, options);
+}
+
+}  // namespace
+
+CellResult solve_cell(const BatchItem& item, int index,
+                      const BatchOptions& options,
+                      const util::CancelToken* cancel) {
   const util::Stopwatch sw;
   obs::Span span("service.cell");
   CellResult r;
   r.index = index;
   r.id = item.id.empty() ? "cell-" + std::to_string(index) : item.id;
 
-  if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-    return fail(r, CellStatus::kSkipped, "skipped",
-                "skipped: an earlier cell failed with keep_going off", sw);
-  }
-
-  util::CancelToken token;
-  const util::CancelToken* cancel = nullptr;
-  if (options.timeout_ms > 0) {
-    token.set_timeout_ms(options.timeout_ms);
-    cancel = &token;
+  util::CancelToken own_token;
+  if (cancel == nullptr && options.timeout_ms > 0) {
+    own_token.set_timeout_ms(options.timeout_ms);
+    cancel = &own_token;
   }
 
   at::Instance instance;
@@ -160,14 +175,12 @@ CellResult run_cell(const BatchItem& item, int index,
                   "unknown solver \"" + solver + "\"", sw);
     }
   } catch (const util::CancelledError& e) {
-    return fail(r, CellStatus::kTimeout, "timeout", e.what(), sw);
+    return fail(r, CellStatus::kTimeout, classify_cancelled(e.what()),
+                e.what(), sw);
   } catch (const util::CheckError& e) {
     const std::string what = e.what();
-    const std::string cls = what.find("instance is infeasible") !=
-                                    std::string::npos
-                                ? "infeasible"
-                                : verify::classify_failure(what);
-    return fail(r, CellStatus::kError, cls, what, sw);
+    return fail(r, CellStatus::kError, classify_solver_failure(what), what,
+                sw);
   } catch (const std::exception& e) {
     return fail(r, CellStatus::kError, "error:exception", e.what(), sw);
   }
@@ -176,8 +189,6 @@ CellResult run_cell(const BatchItem& item, int index,
   r.wall_ns = sw.nanos();
   return r;
 }
-
-}  // namespace
 
 BatchReport solve_batch(const std::vector<BatchItem>& items,
                         const BatchOptions& options,

@@ -31,6 +31,11 @@
 
 #include "activetime/instance.hpp"
 #include "activetime/solver.hpp"
+#include "obs/report.hpp"
+
+namespace nat::util {
+class CancelToken;
+}  // namespace nat::util
 
 namespace nat::service {
 
@@ -103,11 +108,27 @@ BatchReport solve_batch(const std::vector<BatchItem>& items,
                         const BatchOptions& options = {},
                         const CellCallback& on_cell = {});
 
+/// Runs ONE cell inside its fault boundary and never throws: the
+/// parse/validate/solve/classify pipeline of solve_batch, exposed so
+/// stateless daemon requests ride the exact same code path as batch
+/// cells. When `cancel` is non-null it is polled instead of a
+/// cell-private deadline token (options.timeout_ms is ignored) — the
+/// daemon arms its tokens at enqueue time so queue wait counts against
+/// the request deadline.
+CellResult solve_cell(const BatchItem& item, int index,
+                      const BatchOptions& options,
+                      const util::CancelToken* cancel = nullptr);
+
 /// Parses one JSON cell payload:
 ///   {"id": "...", "g": 2, "jobs": [[release, deadline, processing], ...]}
 /// ("id" is optional — solve_batch takes the id from BatchItem).
 /// Throws util::CheckError on malformed input.
 at::Instance parse_json_instance(const std::string& text);
+
+/// One cell record as a Json object (docs/SERVICE.md schema). The
+/// daemon layers its envelope fields (tenant, queue/solve timings) on
+/// top of this before framing.
+obs::Json cell_record(const CellResult& cell);
 
 /// One compact JSONL record for a cell (docs/SERVICE.md schema).
 std::string cell_to_json(const CellResult& cell);

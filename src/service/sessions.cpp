@@ -4,9 +4,10 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "service/jsonl.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
-#include "verify/verify.hpp"
 
 namespace nat::service {
 
@@ -26,6 +27,14 @@ int parse_index(const obs::Json& line) {
                 "delta line: missing numeric \"index\"");
   return static_cast<int>(idx->as_int());
 }
+
+/// Clears a per-op cancel token off the session on every exit path, so
+/// a long-lived session never keeps a pointer to a token that dies
+/// with the request.
+struct CancelScope {
+  at::SolverSession& session;
+  ~CancelScope() { session.set_cancel(nullptr); }
+};
 
 }  // namespace
 
@@ -55,7 +64,7 @@ at::Delta parse_delta(const obs::Json& line) {
   NAT_CHECK_MSG(false, "delta line: unknown kind \"" << k << "\"");
 }
 
-std::string session_op_to_json(const SessionOpResult& r) {
+obs::Json session_op_record(const SessionOpResult& r) {
   obs::Json j = obs::Json::object();
   j["index"] = static_cast<std::int64_t>(r.index);
   if (!r.session.empty()) j["session"] = r.session;
@@ -74,7 +83,11 @@ std::string session_op_to_json(const SessionOpResult& r) {
     j["lp_cold_fallbacks"] = r.lp_cold_fallbacks;
   }
   j["wall_ms"] = static_cast<double>(r.wall_ns) / 1e6;
-  return j.dump();
+  return j;
+}
+
+std::string session_op_to_json(const SessionOpResult& r) {
+  return session_op_record(r).dump();
 }
 
 SessionManager::SessionManager(at::SessionOptions options)
@@ -83,7 +96,8 @@ SessionManager::SessionManager(at::SessionOptions options)
 SessionManager::~SessionManager() = default;
 
 SessionOpResult SessionManager::process_line(const std::string& line,
-                                             int index) {
+                                             int index,
+                                             const util::CancelToken* cancel) {
   const util::Stopwatch sw;
   obs::Span span("service.session_op");
   static obs::Counter& c_ops = obs::counter("at.service.session_ops");
@@ -138,9 +152,12 @@ SessionOpResult SessionManager::process_line(const std::string& line,
       } catch (const std::exception& e) {
         return fail("input:validate", e.what());
       }
+      at::SessionOptions op_options = options_;
+      op_options.cancel = cancel;
       auto session =
-          std::make_unique<at::SolverSession>(std::move(instance), options_);
+          std::make_unique<at::SolverSession>(std::move(instance), op_options);
       const at::SessionResult& res = session->solve();
+      session->set_cancel(nullptr);
       const at::SessionStats& stats = session->stats();
       r.jobs = session->num_jobs();
       r.active_slots = res.active_slots;
@@ -166,6 +183,8 @@ SessionOpResult SessionManager::process_line(const std::string& line,
       } catch (const std::exception& e) {
         return fail("input:parse", e.what());
       }
+      session.set_cancel(cancel);
+      const CancelScope cancel_scope{session};
       const at::SessionStats before = session.stats();
       const at::SessionResult& res = session.apply(delta);
       const at::SessionStats& after = session.stats();
@@ -191,13 +210,13 @@ SessionOpResult SessionManager::process_line(const std::string& line,
     } else {
       return fail("input:op", "session line: unknown op \"" + r.op + "\"");
     }
+  } catch (const util::CancelledError& e) {
+    SessionOpResult& failed = fail(classify_cancelled(e.what()), e.what());
+    failed.status = CellStatus::kTimeout;
+    return failed;
   } catch (const util::CheckError& e) {
     const std::string what = e.what();
-    const std::string cls =
-        what.find("instance is infeasible") != std::string::npos
-            ? "infeasible"
-            : verify::classify_failure(what);
-    return fail(cls, what);
+    return fail(classify_solver_failure(what), what);
   } catch (const std::exception& e) {
     return fail("error:exception", e.what());
   }

@@ -61,6 +61,10 @@ struct SessionOpResult {
 /// fuzz family, which replays protocol lines through a session.
 at::Delta parse_delta(const obs::Json& line);
 
+/// One processed-line record as a Json object (the daemon layers its
+/// envelope fields on top before framing).
+obs::Json session_op_record(const SessionOpResult& r);
+
 /// One compact JSONL record for a processed line.
 std::string session_op_to_json(const SessionOpResult& r);
 
@@ -73,7 +77,12 @@ class SessionManager {
   ~SessionManager();
 
   /// Processes one JSONL line inside a fault boundary. Never throws.
-  SessionOpResult process_line(const std::string& line, int index);
+  /// When `cancel` is non-null it is polled by the targeted session's
+  /// solve for the duration of this op (the daemon passes per-request
+  /// deadline tokens); a cancellation becomes a "timeout"/"cancelled"
+  /// record and, for deltas, rolls the session back.
+  SessionOpResult process_line(const std::string& line, int index,
+                               const util::CancelToken* cancel = nullptr);
 
   int open_sessions() const { return static_cast<int>(sessions_.size()); }
 

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -60,6 +61,31 @@ class CancelToken {
   }
 
   bool deadline_armed() const { return has_deadline_; }
+
+  /// The armed deadline; only meaningful when deadline_armed().
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  /// Sentinel for remaining_ms() when no deadline is armed.
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// Milliseconds until the armed deadline — negative once it has
+  /// passed, kNoDeadline when none is armed. Service layers use this to
+  /// report time-left in timeout records without touching the clock
+  /// math themselves.
+  std::int64_t remaining_ms() const {
+    if (!has_deadline_) return kNoDeadline;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline_ - std::chrono::steady_clock::now())
+        .count();
+  }
+
+  /// True only for an explicit cancel() — a passed deadline does not
+  /// set this. Lets owners tell "cancelled by the caller" apart from
+  /// "timed out" when building terminal records.
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
 
   /// True once cancel() was called or the deadline has passed.
   bool cancelled() const {

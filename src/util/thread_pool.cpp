@@ -70,6 +70,11 @@ void ThreadPool::submit(std::function<void()> task) {
   enqueue(default_group_, std::move(task));
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lk(mu_);
+  return Stats{queue_.size(), in_flight_};
+}
+
 void ThreadPool::wait_idle() { wait_group(*default_group_, /*rethrow=*/true); }
 
 namespace {
@@ -90,6 +95,9 @@ void ThreadPool::worker_loop() {
       group = std::move(queue_.front().first);
       task = std::move(queue_.front().second);
       queue_.pop();
+      // Moved from "queued" to "in flight" in the same critical
+      // section, so stats() never loses the task between the two.
+      ++in_flight_;
     }
     bool skip;
     {
@@ -108,6 +116,10 @@ void ThreadPool::worker_loop() {
     // completion: a joiner may free captured state as soon as the
     // group drains.
     task = nullptr;
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
     {
       std::lock_guard glk(group->mu);
       if (error && !group->first_error) group->first_error = std::move(error);

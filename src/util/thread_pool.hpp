@@ -57,6 +57,21 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Queue/in-flight occupancy of the pool at one instant.
+  struct Stats {
+    std::size_t queue_depth = 0;  // submitted, not yet started
+    std::size_t in_flight = 0;    // currently executing on a worker
+  };
+
+  /// Consistent snapshot taken under the pool lock: a task is counted
+  /// in exactly one of queue_depth / in_flight from submit() until its
+  /// body has returned (the queued->in-flight handoff happens in one
+  /// critical section), so queue_depth + in_flight never over- or
+  /// under-counts live work. Safe to call from any thread, including
+  /// concurrently with submits and joins (admission control and the
+  /// at.daemon.* gauges poll this).
+  Stats stats() const;
+
   /// A per-call completion group: submit any number of tasks, then
   /// wait() for exactly those tasks. Tasks that throw are captured;
   /// wait() rethrows the first captured exception after every task of
@@ -110,7 +125,8 @@ class ThreadPool {
   std::queue<std::pair<std::shared_ptr<detail::GroupState>,
                        std::function<void()>>>
       queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::size_t in_flight_ = 0;  // tasks dequeued, not yet finished
   std::condition_variable cv_task_;  // signalled when work arrives / stop
   bool stop_ = false;
   std::shared_ptr<detail::GroupState> default_group_;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -245,6 +247,105 @@ TEST(CancelToken, DeadlineFires) {
   // CancelledError is deliberately not a CheckError: classifiers must
   // tell cancellation apart from invariant violations.
   static_assert(!std::is_base_of_v<CheckError, CancelledError>);
+}
+
+TEST(CancelToken, RemainingMsAndDeadlineAccessor) {
+  CancelToken token;
+  EXPECT_EQ(token.remaining_ms(), CancelToken::kNoDeadline);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  token.set_deadline(deadline);
+  EXPECT_EQ(token.deadline(), deadline);
+  // Slightly under an hour once the calls themselves have taken time.
+  EXPECT_GT(token.remaining_ms(), 3'500'000);
+  EXPECT_LE(token.remaining_ms(), 3'600'000);
+
+  CancelToken expired;
+  expired.set_timeout_ms(-100);
+  EXPECT_LE(expired.remaining_ms(), -100);
+}
+
+TEST(CancelToken, CancelRequestedTellsExplicitCancelFromDeadline) {
+  CancelToken expired;
+  expired.set_timeout_ms(-1);
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_FALSE(expired.cancel_requested());  // deadline, not cancel()
+
+  CancelToken cancelled;
+  cancelled.cancel();
+  EXPECT_TRUE(cancelled.cancelled());
+  EXPECT_TRUE(cancelled.cancel_requested());
+}
+
+TEST(ThreadPool, StatsSnapshotTracksQueueAndInFlight) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats idle = pool.stats();
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.in_flight, 0u);
+
+  // Block both workers on a gate, then queue two more tasks: the
+  // snapshot must show 2 in flight and 2 queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+  const auto blocker = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lk, [&] { return open; });
+  };
+  pool.submit(blocker);
+  pool.submit(blocker);
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return entered == 2; });
+  }
+  pool.submit([] {});
+  pool.submit([] {});
+  const ThreadPool::Stats busy = pool.stats();
+  EXPECT_EQ(busy.in_flight, 2u);
+  EXPECT_EQ(busy.queue_depth, 2u);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    open = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_EQ(after.in_flight, 0u);
+}
+
+TEST(ThreadPool, StatsStressNeverOverOrUnderCounts) {
+  // Hammer stats() from a reader thread while tasks churn: the
+  // snapshot is taken under the pool lock, so queue + in-flight can
+  // never exceed live work or the worker count go above the pool
+  // width, and a task is never double-counted during the
+  // queued -> in-flight handoff.
+  ThreadPool pool(4);
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const ThreadPool::Stats s = pool.stats();
+      if (s.in_flight > 4 || s.queue_depth > 512) violations.fetch_add(1);
+    }
+  });
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    pool.wait_idle();
+    const ThreadPool::Stats s = pool.stats();
+    if (s.queue_depth != 0 || s.in_flight != 0) violations.fetch_add(1);
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(ran.load(), 8 * 64);
 }
 
 TEST(Stopwatch, MeasuresForward) {

@@ -76,8 +76,21 @@ CELL_ARRAY_KEYS = ("lp_cells", "oracle_cells", "ceiling_cells",
 # least DELTA_FLOOR in geometric mean or it has lost its reason to
 # exist (docs/INCREMENTAL.md).
 DELTA_FLOOR = 2.0
+# The daemon's FIFO baseline must starve the interactive tenant by at
+# least FAIRNESS_BOUND: it proves the flood workload is hostile enough
+# that the fair-queue ceiling below is a non-trivial claim.
+FAIRNESS_BOUND = 5.0
 DOC_FLOORS = [
     ("BENCH_delta.json", "geomean_speedup", DELTA_FLOOR),
+    ("BENCH_daemon.json", "fifo_p99_ratio", FAIRNESS_BOUND),
+]
+
+# Top-level ratio ceilings: (file, key, ceiling). Under the same flood
+# that wrecks FIFO, min-vruntime dispatch must keep the interactive
+# tenant's p99 within FAIRNESS_BOUND of its unloaded p99
+# (docs/DAEMON.md).
+DOC_CEILINGS = [
+    ("BENCH_daemon.json", "interactive_p99_ratio", FAIRNESS_BOUND),
 ]
 
 
@@ -203,6 +216,20 @@ class Gate:
             if val < floor:
                 self.fail(f"{where}/{key}: {val:.2f} below floor "
                           f"{floor:.2f}")
+
+        for (f, key, ceiling) in DOC_CEILINGS:
+            if f != fname:
+                continue
+            val = cur.get(key)
+            if val is None:
+                self.fail(f"{where}: document key '{key}' missing")
+                continue
+            # The injected slowdown inflates the loaded p99 numerator,
+            # so the self-test trips this ceiling too.
+            val = val * slowdown
+            if val > ceiling:
+                self.fail(f"{where}/{key}: {val:.2f} above ceiling "
+                          f"{ceiling:.2f}")
 
 
 def main():
