@@ -71,7 +71,10 @@ bool all_open_feasible(const at::Instance& instance) {
 }
 
 /// Applies `delta` to a copy of `instance`; empty when the result would
-/// be invalid, non-laminar, or infeasible.
+/// be invalid or infeasible. Non-laminar results are also skipped —
+/// sessions solve them fine (general-backend dispatch, docs/GENERAL.md),
+/// but this bench measures the nested pipeline's warm-start economics,
+/// so its streams stay laminar on purpose.
 std::optional<at::Instance> after_delta(const at::Instance& instance,
                                         const at::Delta& delta) {
   at::Instance cand = instance;

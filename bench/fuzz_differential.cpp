@@ -6,6 +6,8 @@
 //   fuzz_differential --delta-streams N [--delta-steps K] [--seed S]
 //                     [--max-jobs M] [--time-budget SECONDS]
 //                     [--regressions DIR]
+//   fuzz_differential --general N [--seed S] [--max-jobs M]
+//                     [--time-budget SECONDS] [--regressions DIR]
 //
 // Runs N random laminar instances through the double pipeline with the
 // exact-arithmetic verify layer at full strength and asserts
@@ -26,6 +28,11 @@
 // (verify/fuzz.hpp, run_delta_fuzz). Violations are minimized (deltas
 // first, then base jobs) and written as instance files with `# delta`
 // comment lines.
+//
+// --general switches to the general-windows family: crossing-window
+// instances (random + the hard chain) through the laminarity
+// dispatcher, asserting LP <= OPT <= ALG <= 2*LP with the rational
+// certificate (verify/fuzz.hpp, run_general_fuzz).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -39,7 +46,8 @@ int usage(const char* argv0) {
             << " [--instances N] [--seed S] [--max-jobs M]"
                " [--time-budget SECONDS] [--regressions DIR]"
                " [--inject-budget-bug]"
-               " [--delta-streams N [--delta-steps K]]\n";
+               " [--delta-streams N [--delta-steps K]]"
+               " [--general N]\n";
   return 2;
 }
 
@@ -50,6 +58,7 @@ int main(int argc, char** argv) {
   options.regression_dir = "corpus/regressions";
   int delta_streams = 0;  // > 0 switches to the delta-mutation family
   int delta_steps = 25;
+  int general_instances = 0;  // > 0 switches to the general family
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -87,12 +96,38 @@ int main(int argc, char** argv) {
         const char* v = value();
         if (!v) return usage(argv[0]);
         delta_steps = std::stoi(v);
+      } else if (arg == "--general") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        general_instances = std::stoi(v);
       } else {
         return usage(argv[0]);
       }
     } catch (const std::exception&) {
       return usage(argv[0]);
     }
+  }
+
+  if (general_instances > 0) {
+    nat::verify::fuzz::GeneralFuzzOptions general_options;
+    general_options.instances = general_instances;
+    general_options.seed = options.seed;
+    general_options.max_jobs = options.max_jobs;
+    general_options.time_budget_seconds = options.time_budget_seconds;
+    general_options.regression_dir = options.regression_dir;
+    const nat::verify::fuzz::FuzzReport report =
+        nat::verify::fuzz::run_general_fuzz(general_options);
+    std::cout << "fuzz_differential: " << report.instances_run
+              << " general instances, " << report.violations.size()
+              << " violations (seed " << options.seed << ")\n";
+    for (const auto& v : report.violations) {
+      std::cout << "  [" << v.failure_class << "] iteration " << v.index
+                << ": minimized " << v.original_jobs << " -> "
+                << v.instance.num_jobs() << " jobs";
+      if (!v.repro_path.empty()) std::cout << " (" << v.repro_path << ")";
+      std::cout << "\n    " << v.detail << '\n';
+    }
+    return report.violations.empty() ? 0 : 1;
   }
 
   if (delta_streams > 0) {

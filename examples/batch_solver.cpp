@@ -12,7 +12,7 @@
 //   $ generate | ./examples/batch_solver - --solver exact --timeout-ms 500
 //
 // Flags:
-//   --solver auto|nested|greedy|exact   (default auto)
+//   --solver auto|nested|general|greedy|exact   (default auto)
 //   --timeout-ms N    per-cell deadline; 0 = none (default)
 //   --threads N       pool width; 0 = hardware concurrency (default)
 //   --keep-going / --no-keep-going      (default --keep-going)
@@ -40,7 +40,7 @@ namespace {
 
 void usage() {
   std::cerr << "usage: batch_solver [batch.jsonl | -] [--files f1 f2 ...]\n"
-            << "         [--solver auto|nested|greedy|exact] [--timeout-ms N]\n"
+            << "         [--solver auto|nested|general|greedy|exact] [--timeout-ms N]\n"
             << "         [--threads N] [--no-keep-going] [--summary]\n"
             << "         [--sessions]\n";
 }

@@ -83,23 +83,27 @@ int main(int argc, char** argv) {
   std::cout << at::summary(instance) << '\n';
   obs::RunSummary summary = base_summary(instance);
   try {
-    if (use_greedy || !instance.is_laminar()) {
-      if (!instance.is_laminar()) {
-        std::cout << "windows are not nested; using the greedy "
-                     "3-approximation (works on any instance)\n";
-      }
+    if (use_greedy) {
       auto r = at::baselines::greedy_minimal_feasible(instance);
       summary.solver = "greedy";
       summary.active_slots = r.active_slots;
       io::write_schedule(std::cout, instance, r.schedule);
     } else {
-      at::NestedSolveResult r = at::solve_nested(instance);
-      summary.solver = "nested";
+      // Laminarity dispatch: the 9/5 nested pipeline when windows
+      // nest, the LP-rounding 2-approx otherwise (docs/GENERAL.md).
+      at::ActiveTimeResult r = at::solve_active_time(instance);
+      summary.solver = at::to_string(r.backend);
       summary.active_slots = r.active_slots;
       summary.lp_objective = r.lp_value;
       summary.lp_iterations = r.lp_iterations;
       summary.repairs = r.repairs;
-      std::cout << "LP lower bound: " << r.lp_value << '\n';
+      if (r.backend != at::Backend::kNested) {
+        std::cout << "windows are not nested; using the LP-rounding "
+                     "2-approximation\n";
+      }
+      if (r.backend != at::Backend::kGreedy) {
+        std::cout << "LP lower bound: " << r.lp_value << '\n';
+      }
       io::write_schedule(std::cout, instance, r.schedule);
     }
   } catch (const std::exception& e) {

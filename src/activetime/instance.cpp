@@ -45,12 +45,23 @@ std::int64_t Instance::total_volume() const {
 }
 
 bool Instance::is_laminar() const {
-  for (std::size_t a = 0; a < jobs.size(); ++a) {
-    for (std::size_t b = a + 1; b < jobs.size(); ++b) {
-      const Interval wa = jobs[a].window();
-      const Interval wb = jobs[b].window();
-      if (!wa.disjoint(wb) && !wa.inside(wb) && !wb.inside(wa)) return false;
-    }
+  // O(n log n): sweep windows by (lo asc, hi desc) with a stack of the
+  // currently-open ancestors. Each window must either start after the
+  // innermost open window ends (disjoint — pop it) or nest inside it;
+  // a partial overlap fails. Equal windows nest, matching the pairwise
+  // definition (disjoint / a ⊆ b / b ⊆ a).
+  std::vector<Interval> windows;
+  windows.reserve(jobs.size());
+  for (const Job& job : jobs) windows.push_back(job.window());
+  std::sort(windows.begin(), windows.end(), [](const Interval& a,
+                                               const Interval& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi > b.hi;
+  });
+  std::vector<Interval> open;
+  for (const Interval& w : windows) {
+    while (!open.empty() && open.back().hi <= w.lo) open.pop_back();
+    if (!open.empty() && w.hi > open.back().hi) return false;
+    open.push_back(w);
   }
   return true;
 }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "activetime/feasibility.hpp"
+#include "activetime/general.hpp"
 #include "activetime/lp_transform.hpp"
 #include "activetime/oracle.hpp"
 #include "activetime/rounding.hpp"
@@ -121,8 +122,6 @@ std::vector<std::vector<int>> window_groups(const Instance& instance) {
 SolverSession::SolverSession(Instance initial, SessionOptions options)
     : instance_(std::move(initial)), options_(options) {
   instance_.validate();
-  NAT_CHECK_MSG(instance_.is_laminar(),
-                "session requires a laminar instance");
 }
 
 const SessionResult& SolverSession::solve() {
@@ -165,8 +164,6 @@ const SessionResult& SolverSession::apply(const Delta& delta) {
         },
         delta);
     instance_.validate();
-    NAT_CHECK_MSG(instance_.is_laminar(),
-                  "delta made the instance non-laminar");
     resolve();
   } catch (...) {
     instance_ = std::move(backup);
@@ -209,6 +206,7 @@ void SolverSession::resolve() {
   }
 
   SessionResult res;
+  res.backend = Backend::kNested;
   res.schedule.assignment.resize(instance_.jobs.size());
   std::unordered_map<std::uint64_t, GroupSolve> next;
   next.reserve(groups.size());
@@ -247,6 +245,12 @@ void SolverSession::resolve() {
     }
     res.lp_value += entry.lp_value;
     res.repairs += entry.repairs;
+    // Most-degraded backend wins: greedy > general > nested.
+    if (entry.backend == Backend::kGreedy ||
+        (entry.backend == Backend::kGeneral &&
+         res.backend == Backend::kNested)) {
+      res.backend = entry.backend;
+    }
     next.emplace(plan[gi].key, std::move(entry));
   }
   res.active_slots = res.schedule.active_slots();
@@ -270,6 +274,25 @@ SolverSession::GroupSolve SolverSession::solve_group(
   Instance sub;
   sub.g = instance_.g;
   sub.jobs = out.jobs;
+
+  if (!sub.is_laminar()) {
+    // Crossing windows: dispatch this group to the general 2-approx
+    // backend. No basis is exported (the time-indexed LP's variables do
+    // not map onto the strong LP's), so a later re-solve of this group
+    // starts cold — mapping is a performance channel, never a
+    // correctness one, and the content cache still dedupes repeats.
+    ++stats_.oracle_builds;
+    GeneralSolverOptions general;
+    general.cancel = options_.cancel;
+    const GeneralSolveResult res = solve_general(sub, general);
+    out.backend = res.lp_failed ? Backend::kGreedy : Backend::kGeneral;
+    out.lp_value = res.lp_value;
+    out.repairs = res.repairs;
+    out.active_slots = res.active_slots;
+    out.slots = res.schedule.assignment;
+    return out;
+  }
+
   LaminarForest forest = LaminarForest::build(sub);
   forest.canonicalize();
 

@@ -32,6 +32,7 @@
 #include "activetime/instance.hpp"
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/schedule.hpp"
+#include "activetime/solver.hpp"
 #include "lp/sparse_simplex.hpp"
 #include "util/cancel.hpp"
 
@@ -40,9 +41,11 @@ namespace nat::at {
 // Typed deltas. Job indices refer to the session's *current* job list
 // (insertion order; RemoveJob shifts later indices down by one, like a
 // vector erase). Window edits must nest — ExtendWindow's new window
-// must contain the old one, ShrinkWindow's must be contained in it —
-// and every delta must leave the instance laminar; violations throw
-// util::CheckError and roll the session back.
+// must contain the old one, ShrinkWindow's must be contained in it;
+// violations throw util::CheckError and roll the session back. The
+// instance itself may be non-laminar: groups whose windows cross
+// dispatch to the general 2-approx backend (solve_general) while
+// laminar groups keep the 9/5 pipeline and its warm-start machinery.
 struct AddJob {
   Job job;
 };
@@ -86,6 +89,10 @@ struct SessionResult {
   std::int64_t active_slots = 0;
   double lp_value = 0.0;  // sum of the group LP optima
   int repairs = 0;
+  // Most-degraded backend across the groups of this solve: kNested when
+  // every group was laminar (the 9/5 pipeline), kGeneral when any group
+  // needed the 2-approx, kGreedy when any group's LP failed.
+  Backend backend = Backend::kNested;
 };
 
 class SolverSession {
@@ -96,8 +103,10 @@ class SolverSession {
   const SessionResult& solve();
 
   /// Applies one delta and re-solves incrementally. On any failure
-  /// (invalid delta, non-laminar or infeasible result) the session
-  /// rolls back to its pre-delta instance and result and rethrows.
+  /// (invalid delta, infeasible result) the session rolls back to its
+  /// pre-delta instance and result and rethrows. A delta that makes the
+  /// instance non-laminar is fine: the crossing groups dispatch to the
+  /// general 2-approx backend.
   const SessionResult& apply(const Delta& delta);
 
   /// Re-points the cancel token polled by subsequent solve()/apply()
@@ -121,6 +130,10 @@ class SolverSession {
     std::int64_t active_slots = 0;
     double lp_value = 0.0;
     int repairs = 0;
+    // Which pipeline solved this group (laminar groups keep the 9/5
+    // path and its warm-basis machinery; crossing groups dispatch to
+    // solve_general and export no basis).
+    Backend backend = Backend::kNested;
     lp::Basis basis;                     // exported optimal basis
     std::vector<std::string> var_keys;   // content key per LP variable
   };

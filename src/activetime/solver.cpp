@@ -193,6 +193,52 @@ NestedSolveResult solve_nested(const Instance& instance,
   return result;
 }
 
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kNested: return "nested";
+    case Backend::kGeneral: return "general";
+    case Backend::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+ActiveTimeResult solve_active_time(const Instance& instance,
+                                   const ActiveTimeOptions& options) {
+  ActiveTimeResult result;
+  if (instance.is_laminar()) {
+    static obs::Counter& c = obs::counter("at.dispatch.nested");
+    c.add(1);
+    NestedSolverOptions nested = options.nested;
+    if (options.cancel != nullptr) nested.cancel = options.cancel;
+    NestedSolveResult sub = solve_nested(instance, nested);
+    result.backend = Backend::kNested;
+    result.schedule = std::move(sub.schedule);
+    result.active_slots = sub.active_slots;
+    result.lp_value = sub.lp_value;
+    result.repairs = sub.repairs;
+    result.lp_iterations = sub.lp_iterations;
+    return result;
+  }
+  GeneralSolverOptions general = options.general;
+  if (options.cancel != nullptr) general.cancel = options.cancel;
+  GeneralSolveResult sub = solve_general(instance, general);
+  if (sub.lp_failed) {
+    static obs::Counter& c = obs::counter("at.dispatch.greedy");
+    c.add(1);
+    result.backend = Backend::kGreedy;
+  } else {
+    static obs::Counter& c = obs::counter("at.dispatch.general");
+    c.add(1);
+    result.backend = Backend::kGeneral;
+  }
+  result.schedule = std::move(sub.schedule);
+  result.active_slots = sub.active_slots;
+  result.lp_value = sub.lp_value;
+  result.repairs = sub.repairs;
+  result.lp_iterations = sub.lp_iterations;
+  return result;
+}
+
 double strong_lp_value(const Instance& instance,
                        const StrongLpOptions& options) {
   if (instance.jobs.empty()) return 0.0;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "activetime/general.hpp"
 #include "activetime/instance.hpp"
 #include "activetime/lp_relaxation.hpp"
 #include "activetime/schedule.hpp"
@@ -73,5 +74,41 @@ int repair_open_counts(const LaminarForest& forest, FeasibilityOracle& oracle,
 /// Value of the strengthened LP alone (lower bound on OPT).
 double strong_lp_value(const Instance& instance,
                        const StrongLpOptions& options = {});
+
+/// --- Laminarity auto-dispatch --------------------------------------------
+
+/// Which pipeline actually solved the instance. Every service record
+/// (batch cell, session op, daemon response) carries the tag as its
+/// `backend` field.
+enum class Backend {
+  kNested,   // laminar: the 9/5 pipeline (solve_nested)
+  kGeneral,  // non-laminar: the LP-rounding 2-approx (solve_general)
+  kGreedy,   // non-laminar, LP failed: greedy deactivation fallback
+};
+
+const char* to_string(Backend backend);
+
+struct ActiveTimeOptions {
+  NestedSolverOptions nested;    // used on the laminar path
+  GeneralSolverOptions general;  // used on the non-laminar path
+  // Convenience: when set, overrides the cancel token of both paths.
+  const util::CancelToken* cancel = nullptr;
+};
+
+struct ActiveTimeResult {
+  Backend backend = Backend::kNested;
+  Schedule schedule;
+  std::int64_t active_slots = 0;
+  double lp_value = 0.0;  // strengthened LP (nested) / natural LP (general)
+  int repairs = 0;
+  std::int64_t lp_iterations = 0;
+};
+
+/// Front-end dispatcher: tests Instance::is_laminar() (O(n log n)) and
+/// routes laminar instances to solve_nested — bit-identical to calling
+/// it directly — and everything else to solve_general. `backend`
+/// records which path ran; at.dispatch.* counters track the split.
+ActiveTimeResult solve_active_time(const Instance& instance,
+                                   const ActiveTimeOptions& options = {});
 
 }  // namespace nat::at

@@ -221,4 +221,59 @@ Instance random_contended(const ContendedParams& params, util::Rng& rng) {
   return instance;
 }
 
+Instance random_general(const RandomGeneralParams& params, util::Rng& rng) {
+  NAT_CHECK(params.g >= 1 && params.jobs >= 1 && params.horizon >= 1 &&
+            params.max_length >= 1 && params.max_processing >= 1 &&
+            params.max_attempts_per_job >= 1);
+  Instance instance;
+  instance.g = params.g;
+  // Greedy incremental construction: keep a drawn job only if the
+  // all-open flow test still passes, so the result is feasible by
+  // construction without a global rejection loop (which would skew the
+  // distribution toward sparse instances).
+  for (int j = 0; j < params.jobs; ++j) {
+    for (int attempt = 0; attempt < params.max_attempts_per_job; ++attempt) {
+      const Time len =
+          rng.uniform_int(1, std::min<Time>(params.max_length, params.horizon));
+      const Time lo = rng.uniform_int(0, params.horizon - len);
+      const std::int64_t p =
+          rng.uniform_int(1, std::min<std::int64_t>(len, params.max_processing));
+      instance.jobs.push_back(Job{lo, lo + len, p});
+      std::vector<Time> all;
+      for (const Job& job : instance.jobs) {
+        for (Time t = job.release; t < job.deadline; ++t) all.push_back(t);
+      }
+      if (feasible_with_slots(instance, all)) break;
+      instance.jobs.pop_back();
+    }
+  }
+  NAT_CHECK_MSG(!instance.jobs.empty(),
+                "random_general produced an empty instance");
+  instance.validate();
+  check_feasible(instance);
+  return instance;
+}
+
+Instance hard_crossing(std::int64_t g, int k) {
+  NAT_CHECK(g >= 2 && k >= 2);
+  Instance instance;
+  instance.g = g;
+  const Time horizon = 2 * static_cast<Time>(k) + 1;
+  // Glue job crossing every window of the chain.
+  instance.jobs.push_back(Job{0, horizon, static_cast<std::int64_t>(k)});
+  // Chain of overlapping unit_overload gadgets: window i = [2i, 2i+3)
+  // carries g+1 unit jobs, so it needs two open slots while the LP pays
+  // (g+1)/g; adjacent windows cross (share exactly one slot).
+  for (int i = 0; i < k; ++i) {
+    const Time lo = 2 * static_cast<Time>(i);
+    for (std::int64_t u = 0; u <= g; ++u) {
+      instance.jobs.push_back(Job{lo, lo + 3, 1});
+    }
+  }
+  instance.validate();
+  NAT_CHECK(!instance.is_laminar());
+  check_feasible(instance);
+  return instance;
+}
+
 }  // namespace nat::at::gen

@@ -1,7 +1,10 @@
 // Instance families used by the experiments (DESIGN.md §4).
 //
-// Every generator returns a *feasible* laminar instance (verified by a
-// flow test before returning) and is deterministic given its seed.
+// Every generator returns a *feasible* instance (verified by a flow
+// test before returning) and is deterministic given its seed. The
+// families above the "General" marker are laminar; random_general and
+// hard_crossing produce arbitrary (crossing) windows for the general
+// 2-approx backend.
 #pragma once
 
 #include <cstdint>
@@ -75,5 +78,35 @@ Instance staircase(std::int64_t g, int levels, int per_level);
 /// two children, unit jobs at every node, plus one long job per
 /// internal window. Stresses binarization-free deep recursion.
 Instance binary_nest(std::int64_t g, int depth);
+
+/// --- General (non-laminar) families --------------------------------------
+
+struct RandomGeneralParams {
+  std::int64_t g = 3;
+  int jobs = 12;
+  Time horizon = 24;
+  Time max_length = 8;
+  std::int64_t max_processing = 4;
+  // Re-draws per job before it is skipped (keeps the instance feasible
+  // by construction: a job is only kept if the all-open flow test still
+  // passes with it added).
+  int max_attempts_per_job = 16;
+};
+
+/// Random instance with arbitrary (usually crossing) windows for the
+/// general 2-approx backend. Feasible by construction; NOT guaranteed
+/// non-laminar — small draws occasionally nest, which is exactly what
+/// the laminarity dispatcher should absorb.
+Instance random_general(const RandomGeneralParams& params, util::Rng& rng);
+
+/// Hard crossing family in the style of the Saha–Purohit NP-hardness
+/// constructions (PAPERS.md, arXiv 2112.03255): a chain of k
+/// overlapping length-3 windows [2i, 2i+3), each saturated with g+1
+/// unit jobs (the unit_overload gadget, forcing 2 slots per window
+/// while the LP pays (g+1)/g), glued by one long job crossing the whole
+/// chain. Every adjacent window pair crosses, so the instance is
+/// non-laminar for k >= 2; the fractional optimum sits near 1/2 per
+/// slot, the regime the threshold rounding and repair loop must handle.
+Instance hard_crossing(std::int64_t g, int k);
 
 }  // namespace nat::at::gen

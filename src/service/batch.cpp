@@ -67,6 +67,7 @@ obs::Json cell_record(const CellResult& cell) {
   j["id"] = cell.id;
   j["status"] = to_string(cell.status);
   if (!cell.solver.empty()) j["solver"] = cell.solver;
+  if (!cell.backend.empty()) j["backend"] = cell.backend;
   if (!cell.failure_class.empty()) j["failure_class"] = cell.failure_class;
   if (!cell.error.empty()) j["error"] = cell.error;
   if (cell.jobs >= 0) j["jobs"] = static_cast<std::int64_t>(cell.jobs);
@@ -140,9 +141,13 @@ CellResult solve_cell(const BatchItem& item, int index,
   }
   r.jobs = instance.num_jobs();
 
-  std::string solver = options.solver;
-  if (solver == "auto") solver = instance.is_laminar() ? "nested" : "greedy";
+  const std::string& solver = options.solver;
   r.solver = solver;
+  if (solver == "auto") {
+    // Provisional tag so failure records name the dispatched path; a
+    // successful solve overwrites it with the backend that actually ran.
+    r.solver = instance.is_laminar() ? "nested" : "general";
+  }
   if ((solver == "nested" || solver == "exact") && !instance.is_laminar()) {
     return fail(r, CellStatus::kError, "input:laminar",
                 "the " + solver + " solver requires nested (laminar) windows",
@@ -150,15 +155,35 @@ CellResult solve_cell(const BatchItem& item, int index,
   }
 
   try {
-    if (solver == "nested") {
+    if (solver == "auto") {
+      at::ActiveTimeOptions dispatch;
+      dispatch.nested = options.nested;
+      dispatch.general = options.general;
+      dispatch.cancel = cancel;
+      const at::ActiveTimeResult res = at::solve_active_time(instance,
+                                                             dispatch);
+      r.solver = to_string(res.backend);  // the path auto resolved to
+      r.backend = to_string(res.backend);
+      r.active_slots = res.active_slots;
+      r.lp_value = res.lp_value;
+    } else if (solver == "nested") {
       at::NestedSolverOptions nested = options.nested;
       nested.cancel = cancel;
       const at::NestedSolveResult res = at::solve_nested(instance, nested);
+      r.backend = "nested";
       r.active_slots = res.active_slots;
       r.lp_value = res.lp_value;
+    } else if (solver == "general") {
+      at::GeneralSolverOptions general = options.general;
+      general.cancel = cancel;
+      const at::GeneralSolveResult res = at::solve_general(instance, general);
+      r.backend = res.lp_failed ? "greedy" : "general";
+      r.active_slots = res.active_slots;
+      r.lp_value = res.lp_failed ? -1.0 : res.lp_value;
     } else if (solver == "greedy") {
       const auto res = at::baselines::greedy_minimal_feasible(
           instance, at::baselines::DeactivationOrder::kRightToLeft, 0, cancel);
+      r.backend = "greedy";
       r.active_slots = res.active_slots;
     } else if (solver == "exact") {
       at::baselines::ExactOptions exact;
@@ -169,6 +194,7 @@ CellResult solve_cell(const BatchItem& item, int index,
         return fail(r, CellStatus::kError, "exact:node_budget",
                     "branch-and-bound node budget exhausted", sw);
       }
+      r.backend = "exact";
       r.active_slots = res->optimum;
     } else {
       return fail(r, CellStatus::kError, "input:solver",
@@ -194,7 +220,8 @@ BatchReport solve_batch(const std::vector<BatchItem>& items,
                         const BatchOptions& options,
                         const CellCallback& on_cell) {
   NAT_CHECK_MSG(options.solver == "auto" || options.solver == "nested" ||
-                    options.solver == "greedy" || options.solver == "exact",
+                    options.solver == "general" || options.solver == "greedy" ||
+                    options.solver == "exact",
                 "unknown batch solver \"" << options.solver << "\"");
   obs::Span span("service.batch");
 

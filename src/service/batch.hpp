@@ -61,6 +61,9 @@ struct CellResult {
   std::string id;
   CellStatus status = CellStatus::kError;
   std::string solver;          // solver that ran ("" if never reached)
+  std::string backend;         // pipeline that produced the numbers:
+                               // "nested" | "general" | "greedy" |
+                               // "exact" ("" if the solve never ran)
   std::string failure_class;   // taxonomy key ("" on success)
   std::string error;           // full diagnostic ("" on success)
   std::int64_t active_slots = -1;  // cost; -1 when not solved
@@ -70,9 +73,11 @@ struct CellResult {
 };
 
 struct BatchOptions {
-  // "auto" picks nested for laminar instances and greedy otherwise;
-  // "nested", "greedy", "exact" force that solver (nested/exact reject
-  // non-laminar instances with an error record).
+  // "auto" dispatches on laminarity (at::solve_active_time): nested
+  // 9/5 pipeline for laminar instances, the general LP-rounding
+  // 2-approx otherwise (greedy when its LP fails). "nested", "general",
+  // "greedy", "exact" force that solver (nested/exact reject
+  // non-laminar instances with an input:laminar error record).
   std::string solver = "auto";
   // Per-cell deadline in milliseconds; 0 disables. A cell that exceeds
   // it yields a kTimeout record.
@@ -84,6 +89,8 @@ struct BatchOptions {
   bool keep_going = true;
   // Base options for the nested solver (per-cell cancel is overlaid).
   at::NestedSolverOptions nested;
+  // Base options for the general 2-approx solver (same overlay).
+  at::GeneralSolverOptions general;
   // Node budget for the exact solver.
   std::int64_t exact_node_budget = 20'000'000;
 };

@@ -70,6 +70,7 @@ obs::Json session_op_record(const SessionOpResult& r) {
   if (!r.session.empty()) j["session"] = r.session;
   if (!r.op.empty()) j["op"] = r.op;
   j["status"] = to_string(r.status);
+  if (!r.backend.empty()) j["backend"] = r.backend;
   if (!r.failure_class.empty()) j["failure_class"] = r.failure_class;
   if (!r.error.empty()) j["error"] = r.error;
   if (r.jobs >= 0) j["jobs"] = static_cast<std::int64_t>(r.jobs);
@@ -160,6 +161,7 @@ SessionOpResult SessionManager::process_line(const std::string& line,
       session->set_cancel(nullptr);
       const at::SessionStats& stats = session->stats();
       r.jobs = session->num_jobs();
+      r.backend = at::to_string(res.backend);
       r.active_slots = res.active_slots;
       r.lp_value = res.lp_value;
       r.groups_resolved = stats.groups_resolved;
@@ -189,6 +191,7 @@ SessionOpResult SessionManager::process_line(const std::string& line,
       const at::SessionResult& res = session.apply(delta);
       const at::SessionStats& after = session.stats();
       r.jobs = session.num_jobs();
+      r.backend = at::to_string(res.backend);
       r.active_slots = res.active_slots;
       r.lp_value = res.lp_value;
       r.groups_resolved = after.groups_resolved - before.groups_resolved;

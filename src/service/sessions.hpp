@@ -42,6 +42,9 @@ struct SessionOpResult {
   std::string session;         // session name ("" if the line had none)
   std::string op;              // "open", "delta", "close" ("" on parse fail)
   CellStatus status = CellStatus::kError;
+  std::string backend;         // pipeline tag of the solve ("nested" |
+                               // "general" | "greedy"; "" when no solve
+                               // ran, e.g. close ops and failures)
   std::string failure_class;   // taxonomy key ("" on success)
   std::string error;           // full diagnostic ("" on success)
   int jobs = -1;               // session job count after the op

@@ -196,15 +196,15 @@ std::pair<std::string, std::string> check_instance(
   return {};
 }
 
-at::Instance minimize_violation(const at::Instance& instance,
-                                const std::string& failure_class,
-                                const FuzzOptions& options) {
-  at::Instance current = instance;
-  const auto fails_same = [&](const at::Instance& candidate) {
-    if (candidate.jobs.empty()) return false;
-    return check_instance(candidate, options).first == failure_class;
-  };
+namespace {
 
+/// Shared greedy reduction loop behind both minimizers: drop jobs (back
+/// to front), shrink g, shrink processing times — keeping only
+/// candidates for which `fails_same` holds — until no single reduction
+/// applies.
+template <typename FailsSame>
+at::Instance shrink_instance(at::Instance current,
+                             const FailsSame& fails_same) {
   bool improved = true;
   while (improved) {
     improved = false;
@@ -237,6 +237,17 @@ at::Instance minimize_violation(const at::Instance& instance,
     }
   }
   return current;
+}
+
+}  // namespace
+
+at::Instance minimize_violation(const at::Instance& instance,
+                                const std::string& failure_class,
+                                const FuzzOptions& options) {
+  return shrink_instance(instance, [&](const at::Instance& candidate) {
+    if (candidate.jobs.empty()) return false;
+    return check_instance(candidate, options).first == failure_class;
+  });
 }
 
 FuzzReport run_fuzz(const FuzzOptions& options) {
@@ -276,14 +287,202 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
 }
 
 // --------------------------------------------------------------------------
+// General-windows family.
+
+namespace {
+
+/// Rotating general-family mix: random crossing windows (loose and
+/// contended), the Saha–Purohit-style hard chain, and every fourth
+/// draw a laminar instance so the dispatcher's nested leg is fuzzed
+/// through the same entry point.
+at::Instance generate_general(int index, util::Rng& rng, int max_jobs) {
+  at::Instance inst;
+  switch (index % 4) {
+    case 0: {
+      at::gen::RandomGeneralParams p;
+      p.g = rng.uniform_int(1, 4);
+      p.jobs = static_cast<int>(rng.uniform_int(3, 14));
+      p.horizon = rng.uniform_int(6, 16);
+      p.max_length = rng.uniform_int(2, 8);
+      p.max_processing = rng.uniform_int(1, 4);
+      inst = at::gen::random_general(p, rng);
+      break;
+    }
+    case 1:
+      inst = at::gen::hard_crossing(rng.uniform_int(2, 4),
+                                    static_cast<int>(rng.uniform_int(2, 4)));
+      break;
+    case 2: {
+      // Tight variant: short horizon, long jobs — high contention, so
+      // the LP goes genuinely fractional and the repair loop fires.
+      at::gen::RandomGeneralParams p;
+      p.g = rng.uniform_int(1, 3);
+      p.jobs = static_cast<int>(rng.uniform_int(4, 12));
+      p.horizon = rng.uniform_int(5, 10);
+      p.max_length = p.horizon;
+      p.max_processing = rng.uniform_int(2, 5);
+      inst = at::gen::random_general(p, rng);
+      break;
+    }
+    default:
+      return generate(index, rng, max_jobs);
+  }
+  // Dropping trailing jobs preserves feasibility (fewer jobs only relax
+  // the instance); crossing windows may collapse to laminar, which the
+  // dispatcher legs handle.
+  if (inst.num_jobs() > max_jobs) {
+    inst.jobs.resize(static_cast<std::size_t>(max_jobs));
+  }
+  return inst;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> check_general_instance(
+    const at::Instance& instance, const GeneralFuzzOptions& options) {
+  if (instance.jobs.empty()) return {};
+  try {
+    at::ActiveTimeOptions dispatch;
+    dispatch.nested.verify_level = VerifyLevel::kFull;
+    dispatch.general.verify_level = VerifyLevel::kFull;
+    const at::ActiveTimeResult result =
+        at::solve_active_time(instance, dispatch);
+
+    if (instance.is_laminar()) {
+      if (result.backend != at::Backend::kNested) {
+        return {"general:dispatch",
+                "laminar instance dispatched to backend \"" +
+                    std::string(at::to_string(result.backend)) + "\""};
+      }
+      // The dispatcher must be a transparent wrapper on laminar input.
+      at::NestedSolverOptions nested_options;
+      nested_options.verify_level = VerifyLevel::kFull;
+      const at::NestedSolveResult nested =
+          at::solve_nested(instance, nested_options);
+      if (result.schedule.assignment != nested.schedule.assignment ||
+          result.active_slots != nested.active_slots) {
+        std::ostringstream os;
+        os << "dispatcher result (slots " << result.active_slots
+           << ") not bit-identical to solve_nested (slots "
+           << nested.active_slots << ")";
+        return {"general:laminar_identity", os.str()};
+      }
+    } else if (result.backend == at::Backend::kNested) {
+      return {"general:dispatch",
+              "crossing instance dispatched to the nested backend"};
+    }
+
+    const std::int64_t alg = result.active_slots;
+    const double lp = result.lp_value;
+    const at::Interval h = instance.horizon();
+    // The greedy backend fires only when the LP itself failed; it has
+    // no LP value to sandwich against.
+    const bool have_lp = result.backend != at::Backend::kGreedy;
+    if (have_lp) {
+      if (lp > static_cast<double>(alg) + 1e-6) {
+        std::ostringstream os;
+        os << "LP value " << lp << " exceeds ALG " << alg;
+        return {"sandwich:lp_above_alg", os.str()};
+      }
+      if (result.backend == at::Backend::kGeneral) {
+        // Rational certification of the 2-approx budget (the same
+        // certificate solve_general runs at kFull, re-asserted here so
+        // the fuzzer fails even if the in-solver gate regresses).
+        const std::string err =
+            check_general_budget(alg, lp, h.length());
+        if (!err.empty()) return {"general:budget", err};
+      }
+    }
+
+    if (h.length() <= options.brute_force_max_horizon) {
+      const auto opt = at::baselines::exact_opt_brute_force(
+          instance, options.brute_force_max_horizon);
+      if (opt.has_value()) {
+        if (have_lp && lp > static_cast<double>(*opt) + 1e-6) {
+          std::ostringstream os;
+          os << "LP value " << lp << " exceeds OPT " << *opt
+             << " (the LP must lower-bound the optimum)";
+          return {"sandwich:lp_above_opt", os.str()};
+        }
+        if (alg < *opt) {
+          std::ostringstream os;
+          os << "ALG " << alg << " beats OPT " << *opt
+             << " (either schedule is invalid or the oracle is wrong)";
+          return {"sandwich:alg_below_opt", os.str()};
+        }
+        if (result.backend == at::Backend::kGeneral && alg > 2 * *opt) {
+          std::ostringstream os;
+          os << "ALG " << alg << " exceeds 2 * OPT = " << 2 * *opt
+             << " (OPT " << *opt << ")";
+          return {"general:budget_vs_opt", os.str()};
+        }
+      }
+    }
+  } catch (const util::CheckError& e) {
+    return {classify_failure(e.what()), e.what()};
+  }
+  return {};
+}
+
+at::Instance minimize_general_violation(const at::Instance& instance,
+                                        const std::string& failure_class,
+                                        const GeneralFuzzOptions& options) {
+  return shrink_instance(instance, [&](const at::Instance& candidate) {
+    if (candidate.jobs.empty()) return false;
+    return check_general_instance(candidate, options).first == failure_class;
+  });
+}
+
+FuzzReport run_general_fuzz(const GeneralFuzzOptions& options) {
+  FuzzReport report;
+  util::Rng root(options.seed);
+  const auto start = std::chrono::steady_clock::now();
+  static obs::Counter& c_instances =
+      obs::counter("at.fuzz.general_instances");
+  static obs::Counter& c_violations =
+      obs::counter("at.fuzz.general_violations");
+
+  for (int i = 0; i < options.instances; ++i) {
+    if (options.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > options.time_budget_seconds) break;
+    }
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const at::Instance instance = generate_general(i, rng, options.max_jobs);
+    ++report.instances_run;
+    c_instances.add(1);
+
+    auto [failure_class, detail] = check_general_instance(instance, options);
+    if (failure_class.empty()) continue;
+    c_violations.add(1);
+
+    Violation v;
+    v.index = i;
+    v.failure_class = std::move(failure_class);
+    v.detail = std::move(detail);
+    v.original_jobs = instance.num_jobs();
+    v.instance =
+        minimize_general_violation(instance, v.failure_class, options);
+    if (!options.regression_dir.empty()) {
+      v.repro_path = write_repro(options.regression_dir, v);
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------------
 // Delta-mutation family.
 
 namespace {
 
 /// Applies one delta to a plain instance copy; empty when it would be
-/// out of range, break window nesting, break laminarity, lose the last
-/// job, or make the instance infeasible (same safety rules the session
-/// enforces, simulated without a solve).
+/// out of range, break window nesting, lose the last job, or make the
+/// instance infeasible (same safety rules the session enforces,
+/// simulated without a solve). Laminarity is NOT required: sessions
+/// dispatch crossing groups to the general 2-approx, so the fuzz walks
+/// freely across the laminar boundary.
 std::optional<at::Instance> apply_delta_plain(const at::Instance& instance,
                                               const at::Delta& delta) {
   at::Instance cand = instance;
@@ -321,7 +520,7 @@ std::optional<at::Instance> apply_delta_plain(const at::Instance& instance,
   } catch (const util::CheckError&) {
     return std::nullopt;
   }
-  if (!cand.is_laminar() || cand.jobs.empty()) return std::nullopt;
+  if (cand.jobs.empty()) return std::nullopt;
   const at::Interval h = cand.horizon();
   std::vector<at::Time> slots;
   slots.reserve(static_cast<std::size_t>(h.length()));
@@ -411,7 +610,7 @@ bool delta_stream_valid(const at::Instance& base,
   } catch (const util::CheckError&) {
     return false;
   }
-  if (!cur.is_laminar() || cur.jobs.empty()) return false;
+  if (cur.jobs.empty()) return false;
   for (const at::Delta& d : deltas) {
     auto next = apply_delta_plain(cur, d);
     if (!next) return false;
@@ -448,14 +647,18 @@ std::pair<std::string, std::string> check_delta_stream(
       }
     }
     // The per-group LP optima must sum to the global strengthened LP
-    // (the LP is block-diagonal across window groups).
-    const double global = at::strong_lp_value(session.instance());
-    const double inc_lp = session.solve().lp_value;
-    if (std::abs(inc_lp - global) > 1e-6 * (1.0 + std::abs(global))) {
-      std::ostringstream os;
-      os << "final: session LP " << inc_lp << " != global strengthened LP "
-         << global;
-      return {"session:lp_mismatch", os.str()};
+    // (the LP is block-diagonal across window groups). Only defined on
+    // laminar instances — crossing groups solve the plain time-indexed
+    // LP, which is a different (weaker) bound.
+    if (session.instance().is_laminar()) {
+      const double global = at::strong_lp_value(session.instance());
+      const double inc_lp = session.solve().lp_value;
+      if (std::abs(inc_lp - global) > 1e-6 * (1.0 + std::abs(global))) {
+        std::ostringstream os;
+        os << "final: session LP " << inc_lp << " != global strengthened LP "
+           << global;
+        return {"session:lp_mismatch", os.str()};
+      }
     }
   } catch (const util::CheckError& e) {
     return {classify_failure(e.what()), e.what()};

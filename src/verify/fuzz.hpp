@@ -1,17 +1,26 @@
-// Differential fuzz harness for the 9/5 pipeline.
+// Differential fuzz harness for the 9/5 pipeline and the general
+// (non-laminar) 2-approx backend.
 //
-// Generates random laminar instances (rotating over the generator
-// families, deterministic per seed), runs the double pipeline with the
-// full exact-arithmetic verify layer enabled, and asserts the sandwich
+// The laminar family generates random laminar instances (rotating over
+// the generator families, deterministic per seed), runs the double
+// pipeline with the full exact-arithmetic verify layer enabled, and
+// asserts the sandwich
 //
 //   LP <= OPT <= ALG <= ceil((9/5) * OPT)
 //
 // against the branch-and-bound OPT oracle; small instances are also
-// cross-checked against the all-Rational exact pipeline. Every
-// violation is classified by a stable failure key, greedily
-// delta-debugged down to a minimal instance that still fails the same
-// way, and (optionally) written to corpus/regressions/ as a
-// self-contained `activetime v1` repro file.
+// cross-checked against the all-Rational exact pipeline. The general
+// family (run_general_fuzz) mixes crossing-window instances (including
+// the Saha–Purohit-style hard chain) with laminar ones, routes them
+// through the laminarity dispatcher, and asserts
+//
+//   LP <= OPT <= ALG <= 2 * LP  (rationally certified)
+//
+// against the slot-subset brute-force oracle, plus bit-identity with
+// solve_nested on the laminar draws. Every violation is classified by a
+// stable failure key, greedily delta-debugged down to a minimal
+// instance that still fails the same way, and (optionally) written to
+// corpus/regressions/ as a self-contained `activetime v1` repro file.
 //
 // Used by bench/fuzz_differential (CLI) and tests/test_verify (smoke +
 // fault-injection coverage).
@@ -78,6 +87,43 @@ at::Instance minimize_violation(const at::Instance& instance,
 FuzzReport run_fuzz(const FuzzOptions& options);
 
 // --------------------------------------------------------------------------
+// General-windows family: crossing-window instances through the
+// laminarity dispatcher (at::solve_active_time) and the LP-rounding
+// 2-approx, certified with the rational verify layer.
+
+struct GeneralFuzzOptions {
+  int instances = 300;
+  std::uint64_t seed = 1;
+  int max_jobs = 16;
+  double time_budget_seconds = 0.0;
+  std::string regression_dir;  // empty = do not write repro files
+  // Horizon cap for the slot-subset brute-force OPT oracle; instances
+  // with longer horizons skip the OPT legs of the sandwich (the
+  // LP <= ALG <= 2*LP legs always run).
+  int brute_force_max_horizon = 18;
+};
+
+/// Runs the dispatcher + 2-approx sandwich on one instance. Returns
+/// {failure_class, detail}; both empty when the instance certifies.
+/// Checks, in order: dispatch correctness (laminar -> nested backend,
+/// bit-identical to solve_nested; crossing -> general/greedy), the
+/// rational budget ALG <= 2*LP (general:budget), and the OPT sandwich
+/// LP <= OPT <= ALG against exact_opt_brute_force when the horizon
+/// allows it.
+std::pair<std::string, std::string> check_general_instance(
+    const at::Instance& instance, const GeneralFuzzOptions& options);
+
+/// Greedy delta-debugging against check_general_instance (same loop as
+/// minimize_violation: drop jobs, shrink g and processing times).
+at::Instance minimize_general_violation(const at::Instance& instance,
+                                        const std::string& failure_class,
+                                        const GeneralFuzzOptions& options);
+
+/// The full loop: generate (random_general / hard_crossing / laminar
+/// mix), check, minimize, persist. Reuses FuzzReport / Violation.
+FuzzReport run_general_fuzz(const GeneralFuzzOptions& options);
+
+// --------------------------------------------------------------------------
 // Delta-mutation family: random safe delta streams through a persistent
 // SolverSession, checking at every step that the incremental result is
 // bit-identical to a from-scratch session on the same instance, and at
@@ -117,9 +163,10 @@ std::pair<std::string, std::string> check_delta_stream(
     const at::Instance& base, const std::vector<at::Delta>& deltas);
 
 /// True iff every delta applies to the evolving instance without
-/// violating bounds/nesting/laminarity/feasibility (plain simulation,
-/// no solves). The minimizer uses this to keep candidate streams valid
-/// while dropping deltas and base jobs.
+/// violating bounds/nesting/feasibility (plain simulation, no solves).
+/// Crossing windows are allowed — the session dispatches those groups
+/// to the general backend. The minimizer uses this to keep candidate
+/// streams valid while dropping deltas and base jobs.
 bool delta_stream_valid(const at::Instance& base,
                         const std::vector<at::Delta>& deltas);
 

@@ -481,6 +481,25 @@ std::string check_schedule(const at::Instance& instance,
   return {};
 }
 
+std::string check_general_budget(std::int64_t active_slots, double lp_value,
+                                 std::int64_t num_slots, double radius) {
+  const Rational lp = rat(lp_value);
+  if (lp.sign() < 0) {
+    return "LP value is negative: " + lp.to_string();
+  }
+  // The double-path LP objective accumulates one x(t) per slot, each
+  // radius-accurate, so the certified bound is 2·(LP + slack).
+  const Rational bound =
+      Rational(2) * (lp + slack(rat(radius), num_slots, 1));
+  if (Rational(active_slots) > bound) {
+    std::ostringstream os;
+    os << "2-approx budget violated: ALG " << active_slots << " > 2·LP = "
+       << bound.to_string() << " (LP " << lp.to_string() << ")";
+    return os.str();
+  }
+  return {};
+}
+
 void require(const char* stage, const std::string& report) {
   static obs::Counter& c_checks = obs::counter("at.verify.checks");
   c_checks.add(1);

@@ -102,6 +102,15 @@ std::string check_schedule(const at::Instance& instance,
                            std::int64_t claimed_active_slots,
                            std::int64_t open_budget = -1);
 
+/// General-backend 2-approx budget (docs/GENERAL.md): the claimed
+/// active-slot count satisfies ALG <= 2·(LP + slack) in Rational, where
+/// the slack covers `num_slots` radius-accurate x(t) terms accumulated
+/// by the double-path LP objective. LP <= OPT makes this a certified
+/// 2·OPT bound whenever the LP value is trusted.
+std::string check_general_budget(std::int64_t active_slots, double lp_value,
+                                 std::int64_t num_slots,
+                                 double radius = kDefaultRadius);
+
 /// Throwing wrapper for pipeline wiring: bumps at.verify.checks and
 /// at.verify.stage.<stage>, and on a non-empty report bumps
 /// at.verify.failures and throws util::CheckError with the diagnostic.

@@ -1,0 +1,225 @@
+// The general (non-laminar) LP-rounding 2-approx backend
+// (activetime/general.hpp) and the laminarity dispatcher
+// (at::solve_active_time): differential 2-approx vs the brute-force
+// optimum, bit-identity with solve_nested on laminar input, the hard
+// crossing family, cancellation, and the O(n log n) is_laminar rewrite.
+#include "activetime/general.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "activetime/instance.hpp"
+#include "activetime/solver.hpp"
+#include "baselines/exact.hpp"
+#include "helpers.hpp"
+#include "instances/generators.hpp"
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace nat::at {
+namespace {
+
+GeneralSolverOptions full_verify() {
+  GeneralSolverOptions options;
+  options.verify_level = verify::VerifyLevel::kFull;
+  return options;
+}
+
+/// LP <= ALG <= 2*LP (+ float slack), schedule valid, slots consistent.
+void expect_certified(const Instance& instance,
+                      const GeneralSolveResult& res) {
+  ASSERT_FALSE(res.lp_failed);
+  validate_schedule(instance, res.schedule);
+  EXPECT_EQ(res.active_slots,
+            static_cast<std::int64_t>(res.open_slots.size()));
+  EXPECT_GE(static_cast<double>(res.active_slots), res.lp_value - 1e-6);
+  EXPECT_LE(static_cast<double>(res.active_slots),
+            2.0 * res.lp_value + 1e-6 * (1.0 + res.lp_value));
+}
+
+TEST(General, EmptyInstanceSolvesToZero) {
+  const GeneralSolveResult res = solve_general(Instance{3, {}});
+  EXPECT_EQ(res.active_slots, 0);
+  EXPECT_TRUE(res.open_slots.empty());
+}
+
+TEST(General, CrossingFixtureCertifies) {
+  const Instance instance = testing::crossing();
+  ASSERT_FALSE(instance.is_laminar());
+  const GeneralSolveResult res = solve_general(instance, full_verify());
+  expect_certified(instance, res);
+  const auto opt = baselines::exact_opt_brute_force(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_GE(res.active_slots, *opt);
+  EXPECT_LE(res.active_slots, 2 * *opt);
+}
+
+TEST(General, InfeasibleInstanceThrows) {
+  Instance instance;
+  instance.g = 1;
+  instance.jobs = {Job{0, 2, 2}, Job{0, 2, 1}};  // volume 3 > g * 2
+  EXPECT_THROW(solve_general(instance), util::CheckError);
+}
+
+TEST(General, SingleSaturatedWindow) {
+  // g+1 unit jobs in one window of length 2: LP = (g+1)/g, OPT = 2.
+  const Instance instance = gen::unit_overload(4);
+  const GeneralSolveResult res = solve_general(instance, full_verify());
+  expect_certified(instance, res);
+  EXPECT_EQ(res.active_slots, 2);
+}
+
+TEST(General, TwoApproxVsExactBruteForce) {
+  // The differential core: random general instances small enough for
+  // the slot-subset oracle; assert LP <= OPT <= ALG <= 2*OPT.
+  for (int id = 0; id < 40; ++id) {
+    util::Rng knobs(7100 + id);
+    gen::RandomGeneralParams params;
+    params.g = knobs.uniform_int(1, 4);
+    params.jobs = static_cast<int>(knobs.uniform_int(3, 12));
+    params.horizon = knobs.uniform_int(5, 14);
+    params.max_length = knobs.uniform_int(2, 6);
+    params.max_processing = knobs.uniform_int(1, 4);
+    util::Rng rng(400 + id);
+    const Instance instance = gen::random_general(params, rng);
+    const GeneralSolveResult res = solve_general(instance, full_verify());
+    expect_certified(instance, res);
+    const auto opt = baselines::exact_opt_brute_force(instance, 16);
+    ASSERT_TRUE(opt.has_value()) << "id " << id;
+    EXPECT_GE(res.active_slots, *opt) << "id " << id;
+    EXPECT_LE(res.active_slots, 2 * *opt) << "id " << id;
+    EXPECT_LE(res.lp_value, static_cast<double>(*opt) + 1e-6) << "id " << id;
+  }
+}
+
+TEST(General, HardCrossingFamilyCertifies) {
+  for (std::int64_t g = 2; g <= 4; ++g) {
+    for (int k = 2; k <= 5; ++k) {
+      const Instance instance = gen::hard_crossing(g, k);
+      ASSERT_FALSE(instance.is_laminar());
+      const GeneralSolveResult res = solve_general(instance, full_verify());
+      expect_certified(instance, res);
+      // Each of the k chained windows needs two open slots somewhere in
+      // its three slots; windows overlap in one slot, so at least
+      // ceil(3k/2)-ish slots are forced — k+1 is a safe lower bound.
+      EXPECT_GE(res.active_slots, k + 1) << "g " << g << " k " << k;
+    }
+  }
+}
+
+TEST(General, LaminarInputAcceptedToo) {
+  // solve_general does not require crossing windows.
+  const Instance instance = testing::small_nested();
+  ASSERT_TRUE(instance.is_laminar());
+  const GeneralSolveResult res = solve_general(instance, full_verify());
+  expect_certified(instance, res);
+}
+
+TEST(General, CancellationPollsInsideRoundingLoop) {
+  // A pre-fired token must abort the solve with CancelledError, not a
+  // wrong result — the poll sites include the oracle feasibility test
+  // inside the repair/trim loops.
+  const Instance instance = gen::hard_crossing(3, 4);
+  util::CancelToken token;
+  token.cancel();
+  GeneralSolverOptions options;
+  options.cancel = &token;
+  EXPECT_THROW(solve_general(instance, options), util::CancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// The dispatcher.
+
+TEST(Dispatch, LaminarBitIdenticalToSolveNested) {
+  for (int id = 0; id < 20; ++id) {
+    const Instance instance = testing::mixed(id);
+    ASSERT_TRUE(instance.is_laminar());
+    const ActiveTimeResult via = solve_active_time(instance);
+    const NestedSolveResult direct = solve_nested(instance);
+    EXPECT_EQ(via.backend, Backend::kNested) << "id " << id;
+    EXPECT_EQ(via.schedule.assignment, direct.schedule.assignment)
+        << "id " << id;
+    EXPECT_EQ(via.active_slots, direct.active_slots) << "id " << id;
+    EXPECT_EQ(via.repairs, direct.repairs) << "id " << id;
+    EXPECT_DOUBLE_EQ(via.lp_value, direct.lp_value) << "id " << id;
+  }
+}
+
+TEST(Dispatch, CrossingRoutesToGeneralBackend) {
+  const Instance instance = testing::crossing();
+  const ActiveTimeResult res = solve_active_time(instance);
+  EXPECT_EQ(res.backend, Backend::kGeneral);
+  validate_schedule(instance, res.schedule);
+  EXPECT_GE(static_cast<double>(res.active_slots), res.lp_value - 1e-6);
+}
+
+TEST(Dispatch, CancelReachesBothBackends) {
+  util::CancelToken token;
+  token.cancel();
+  ActiveTimeOptions options;
+  options.cancel = &token;
+  EXPECT_THROW(solve_active_time(testing::small_nested(), options),
+               util::CancelledError);
+  EXPECT_THROW(solve_active_time(testing::crossing(), options),
+               util::CancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// The O(n log n) is_laminar sweep (satellite of the same PR): randomized
+// differential test against the obvious quadratic reference.
+
+bool is_laminar_quadratic(const Instance& instance) {
+  for (std::size_t a = 0; a < instance.jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < instance.jobs.size(); ++b) {
+      const Interval wa = instance.jobs[a].window();
+      const Interval wb = instance.jobs[b].window();
+      if (wa.disjoint(wb) || wa.inside(wb) || wb.inside(wa)) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(IsLaminar, MatchesQuadraticReferenceOn1kRandomInstances) {
+  util::Rng rng(20260808);
+  int laminar_seen = 0, crossing_seen = 0;
+  for (int it = 0; it < 1000; ++it) {
+    Instance instance;
+    instance.g = 1;
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    // Small coordinate range so nesting, duplication, touching, and
+    // crossing all occur with useful frequency.
+    for (int j = 0; j < n; ++j) {
+      const Time lo = rng.uniform_int(0, 8);
+      const Time hi = lo + rng.uniform_int(1, 6);
+      instance.jobs.push_back(Job{lo, hi, 1});
+    }
+    const bool fast = instance.is_laminar();
+    ASSERT_EQ(fast, is_laminar_quadratic(instance)) << "iteration " << it;
+    (fast ? laminar_seen : crossing_seen) += 1;
+  }
+  // The distribution must exercise both answers.
+  EXPECT_GT(laminar_seen, 50);
+  EXPECT_GT(crossing_seen, 50);
+}
+
+TEST(IsLaminar, EdgeCases) {
+  Instance empty{2, {}};
+  EXPECT_TRUE(empty.is_laminar());
+  // Equal-lo windows sorted hi-descending: [0,4) then [0,2) nests.
+  Instance equal_lo{2, {Job{0, 2, 1}, Job{0, 4, 1}}};
+  EXPECT_TRUE(equal_lo.is_laminar());
+  // Touching half-open windows are disjoint, not crossing.
+  Instance touching{2, {Job{0, 3, 1}, Job{3, 5, 1}}};
+  EXPECT_TRUE(touching.is_laminar());
+  // A window crossing a *grandparent* (popped ancestor stays relevant).
+  Instance deep{2, {Job{0, 10, 1}, Job{1, 3, 1}, Job{4, 12, 1}}};
+  EXPECT_FALSE(deep.is_laminar());
+}
+
+}  // namespace
+}  // namespace nat::at

@@ -189,6 +189,75 @@ TEST(Service, NativeFormatAndSolverDispatch) {
   EXPECT_THROW(solve_batch({native}, bad), util::CheckError);
 }
 
+std::string crossing_cell() {
+  // g=2, windows [0,4) / [2,6) / [1,5): pairwise crossing, non-laminar.
+  return R"({"g": 2, "jobs": [[0, 4, 2], [2, 6, 2], [1, 5, 1]]})";
+}
+
+// Regression for the stale input:* classification paths: auto used to
+// reject non-laminar cells; they now dispatch to the general backend,
+// and every record names the pipeline that produced its numbers.
+TEST(Service, MixedLaminarityBatchDispatchesPerCell) {
+  std::vector<BatchItem> items = {
+      json_item("laminar-0", healthy_cell()),
+      json_item("crossing-0", crossing_cell()),
+      json_item("laminar-1", healthy_cell()),
+      json_item("crossing-1", crossing_cell()),
+  };
+  const BatchReport report = solve_batch(items, {});
+  EXPECT_EQ(report.solved, 4);
+  EXPECT_EQ(report.errors, 0);
+  for (const CellResult& cell : report.cells) {
+    ASSERT_EQ(cell.status, CellStatus::kSolved) << cell.id << ": "
+                                                << cell.error;
+    const bool crossing = cell.id.rfind("crossing", 0) == 0;
+    EXPECT_EQ(cell.backend, crossing ? "general" : "nested") << cell.id;
+    EXPECT_EQ(cell.solver, cell.backend) << cell.id;  // auto echoes the path
+    EXPECT_GT(cell.active_slots, 0) << cell.id;
+    EXPECT_GE(static_cast<double>(cell.active_slots), cell.lp_value - 1e-6)
+        << cell.id;
+    // The JSONL record carries the tag.
+    const obs::Json j = obs::Json::parse(cell_to_json(cell));
+    ASSERT_NE(j.find("backend"), nullptr) << cell.id;
+    EXPECT_EQ(j.find("backend")->as_string(), cell.backend) << cell.id;
+  }
+}
+
+// The other side of the regression: forced nested/exact still reject
+// crossing windows with the same stable class, and genuinely malformed
+// windows keep their input:validate class on every solver.
+TEST(Service, ForcedSolversKeepStableErrorClasses) {
+  for (const std::string solver : {"nested", "exact"}) {
+    BatchOptions options;
+    options.solver = solver;
+    const BatchReport report =
+        solve_batch({json_item("x", crossing_cell())}, options);
+    ASSERT_EQ(report.cells.size(), 1u);
+    EXPECT_EQ(report.cells[0].status, CellStatus::kError) << solver;
+    EXPECT_EQ(report.cells[0].failure_class, "input:laminar") << solver;
+  }
+  for (const std::string solver : {"auto", "nested", "general", "greedy"}) {
+    BatchOptions options;
+    options.solver = solver;
+    const BatchReport report = solve_batch(
+        {json_item("bad", R"({"g": 2, "jobs": [[5, 2, 1]]})")}, options);
+    EXPECT_EQ(report.cells[0].failure_class, "input:validate") << solver;
+  }
+}
+
+TEST(Service, ForcedGeneralSolverTagsRecords) {
+  BatchOptions options;
+  options.solver = "general";
+  const BatchReport report = solve_batch(
+      {json_item("a", healthy_cell()), json_item("b", crossing_cell())},
+      options);
+  EXPECT_EQ(report.solved, 2);
+  for (const CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.solver, "general");
+    EXPECT_EQ(cell.backend, "general");
+  }
+}
+
 TEST(Service, CellToJsonIsParseableAndEscaped) {
   CellResult cell;
   cell.index = 7;
@@ -318,6 +387,38 @@ TEST(Sessions, TaxonomyClassesForProtocolMisuse) {
   EXPECT_EQ(r.status, CellStatus::kError);
   EXPECT_EQ(r.failure_class, "infeasible");
   EXPECT_EQ(manager.open_sessions(), 1);
+}
+
+// Sessions used to reject non-laminar opens and crossing deltas
+// outright; both now dispatch the affected window groups to the general
+// 2-approx and tag the record with the most-degraded backend used.
+TEST(Sessions, NonLaminarOpenAndDeltaDispatchToGeneral) {
+  SessionManager manager;
+  SessionOpResult r = manager.process_line(
+      R"({"op":"open","session":"s","g":2,"jobs":[[0,4,2],[2,6,2]]})", 0);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.backend, "general");
+  EXPECT_GT(r.active_slots, 0);
+
+  // A laminar-only session reports the nested backend...
+  r = manager.process_line(
+      R"({"op":"open","session":"t","g":2,"jobs":[[0,4,2],[1,3,1]]})", 1);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.backend, "nested");
+
+  // ...until a crossing delta merges its groups; removing it restores
+  // the nested path.
+  r = manager.process_line(
+      R"({"op":"delta","session":"t","kind":"add","job":[2,6,1]})", 2);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.backend, "general");
+  const obs::Json j = session_op_record(r);
+  ASSERT_NE(j.find("backend"), nullptr);
+  EXPECT_EQ(j.find("backend")->as_string(), "general");
+  r = manager.process_line(
+      R"({"op":"delta","session":"t","kind":"remove","index":2})", 3);
+  ASSERT_EQ(r.status, CellStatus::kSolved) << r.error;
+  EXPECT_EQ(r.backend, "nested");
 }
 
 TEST(Sessions, RecordJsonRoundTrips) {

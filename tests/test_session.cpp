@@ -319,14 +319,22 @@ TEST(Session, InfeasibleDeltaRollsBack) {
   expect_matches_scratch(session);
 }
 
-TEST(Session, NonLaminarDeltaRollsBack) {
+TEST(Session, NonLaminarDeltaDispatchesToGeneral) {
   Instance instance;
   instance.g = 2;
   instance.jobs = {Job{0, 4, 1}, Job{4, 8, 1}};
   SolverSession session(instance);
-  session.solve();
-  EXPECT_THROW(session.apply(AddJob{Job{2, 6, 1}}), util::CheckError);
-  EXPECT_EQ(session.num_jobs(), 2);
+  EXPECT_EQ(session.solve().backend, Backend::kNested);
+  // The crossing add used to be rejected; it now merges the two groups
+  // and dispatches the merged group to the general 2-approx backend.
+  const SessionResult& res = session.apply(AddJob{Job{2, 6, 1}});
+  EXPECT_EQ(session.num_jobs(), 3);
+  EXPECT_EQ(res.backend, Backend::kGeneral);
+  validate_schedule(session.instance(), res.schedule);
+  expect_matches_scratch(session);
+  // Removing the crossing job restores the all-laminar (nested) path.
+  const SessionResult& back = session.apply(RemoveJob{2});
+  EXPECT_EQ(back.backend, Backend::kNested);
   expect_matches_scratch(session);
 }
 

@@ -69,7 +69,7 @@ SPEEDUP_FLOORS = [
 ]
 
 CELL_ARRAY_KEYS = ("lp_cells", "oracle_cells", "ceiling_cells",
-                   "delta_cells")
+                   "delta_cells", "general_cells")
 
 # Top-level (document-wide) ratio floors: (file, key, floor). The
 # incremental session engine must beat from-scratch re-solves by at
@@ -89,8 +89,13 @@ DOC_FLOORS = [
 # that wrecks FIFO, min-vruntime dispatch must keep the interactive
 # tenant's p99 within FAIRNESS_BOUND of its unloaded p99
 # (docs/DAEMON.md).
+# The general backend's worst observed ALG/LP must honor the 2-approx
+# guarantee (docs/GENERAL.md) — this is a correctness ceiling, checked
+# on any hardware.
+GENERAL_APPROX_BOUND = 2.0
 DOC_CEILINGS = [
     ("BENCH_daemon.json", "interactive_p99_ratio", FAIRNESS_BOUND),
+    ("BENCH_general.json", "max_ratio_vs_lp", GENERAL_APPROX_BOUND),
 ]
 
 
@@ -245,7 +250,39 @@ def main():
                     metavar="FACTOR",
                     help="multiply current seconds by FACTOR (gate self-test;"
                          " the CI job asserts the gate fails at 2.0)")
+    ap.add_argument("--self-test-floors", action="store_true",
+                    help="verify the multicore sweep floors engage: feed the "
+                         "gate a synthetic BENCH_oracle.json stamped with 4 "
+                         "cores and a sub-floor sweep speedup, and exit 0 "
+                         "only if it trips. Works on any host — single-core "
+                         "runners skip the real floors, so without this "
+                         "check a regression there would go unnoticed until "
+                         "someone happens to run on multicore hardware.")
     args = ap.parse_args()
+
+    if args.self_test_floors:
+        doc = {
+            "schema": "self-test",
+            "smoke": True,
+            "cpu": {"hardware_concurrency": 4, "pool_workers": 4},
+            "ceiling_cells": [
+                {"name": "synthetic", "speedup_workers2": SWEEP_FLOOR - 0.2,
+                 "speedup_workers4": SWEEP_FLOOR - 0.2},
+            ],
+        }
+        gate = Gate()
+        gate.compare_doc("BENCH_oracle.json", doc, doc, 1.0)
+        tripped = {msg.split(": ")[0] for msg in gate.failures}
+        expected = {f"BENCH_oracle.json/ceiling_cells/synthetic/{key}"
+                    for key in ("speedup_workers2", "speedup_workers4")}
+        if tripped != expected:
+            print("perf gate: floor self-test FAILED — the sweep floors "
+                  f"did not engage on a 4-core document (got {tripped})",
+                  file=sys.stderr)
+            return 1
+        print("perf gate: floor self-test OK (2- and 4-worker sweep floors "
+              "engage on multicore documents)")
+        return 0
 
     baselines = sorted(f for f in os.listdir(args.baseline_dir)
                        if f.startswith("BENCH_") and f.endswith(".json"))
