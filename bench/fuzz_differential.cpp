@@ -8,6 +8,8 @@
 //                     [--regressions DIR]
 //   fuzz_differential --general N [--seed S] [--max-jobs M]
 //                     [--time-budget SECONDS] [--regressions DIR]
+//   fuzz_differential --robust N [--seed S] [--max-jobs M]
+//                     [--time-budget SECONDS] [--regressions DIR]
 //
 // Runs N random laminar instances through the double pipeline with the
 // exact-arithmetic verify layer at full strength and asserts
@@ -33,6 +35,12 @@
 // instances (random + the hard chain) through the laminarity
 // dispatcher, asserting LP <= OPT <= ALG <= 2*LP with the rational
 // certificate (verify/fuzz.hpp, run_general_fuzz).
+//
+// --robust switches to the robust interval-time family: instances with
+// [p_lo, p_hi] uncertainty boxes through solve_robust, asserting the
+// sandwich LP(p_lo) <= ALG <= robust_hi, corner consistency against the
+// brute-force oracle, and that degenerate (point) draws reproduce the
+// point solver bit-identically (verify/fuzz.hpp, run_robust_fuzz).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -47,7 +55,7 @@ int usage(const char* argv0) {
                " [--time-budget SECONDS] [--regressions DIR]"
                " [--inject-budget-bug]"
                " [--delta-streams N [--delta-steps K]]"
-               " [--general N]\n";
+               " [--general N] [--robust N]\n";
   return 2;
 }
 
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   int delta_streams = 0;  // > 0 switches to the delta-mutation family
   int delta_steps = 25;
   int general_instances = 0;  // > 0 switches to the general family
+  int robust_instances = 0;   // > 0 switches to the robust family
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -100,12 +109,38 @@ int main(int argc, char** argv) {
         const char* v = value();
         if (!v) return usage(argv[0]);
         general_instances = std::stoi(v);
+      } else if (arg == "--robust") {
+        const char* v = value();
+        if (!v) return usage(argv[0]);
+        robust_instances = std::stoi(v);
       } else {
         return usage(argv[0]);
       }
     } catch (const std::exception&) {
       return usage(argv[0]);
     }
+  }
+
+  if (robust_instances > 0) {
+    nat::verify::fuzz::RobustFuzzOptions robust_options;
+    robust_options.instances = robust_instances;
+    robust_options.seed = options.seed;
+    robust_options.max_jobs = options.max_jobs;
+    robust_options.time_budget_seconds = options.time_budget_seconds;
+    robust_options.regression_dir = options.regression_dir;
+    const nat::verify::fuzz::FuzzReport report =
+        nat::verify::fuzz::run_robust_fuzz(robust_options);
+    std::cout << "fuzz_differential: " << report.instances_run
+              << " robust instances, " << report.violations.size()
+              << " violations (seed " << options.seed << ")\n";
+    for (const auto& v : report.violations) {
+      std::cout << "  [" << v.failure_class << "] iteration " << v.index
+                << ": minimized " << v.original_jobs << " -> "
+                << v.instance.num_jobs() << " jobs";
+      if (!v.repro_path.empty()) std::cout << " (" << v.repro_path << ")";
+      std::cout << "\n    " << v.detail << '\n';
+    }
+    return report.violations.empty() ? 0 : 1;
   }
 
   if (general_instances > 0) {

@@ -17,6 +17,9 @@
 //   --threads N       pool width; 0 = hardware concurrency (default)
 //   --keep-going / --no-keep-going      (default --keep-going)
 //   --files f1 f2 ... remaining args are native-format instance files
+//   --robust          robust interval-time mode (docs/ROBUST.md): cells
+//                     route through solve_robust and records carry
+//                     robust_lo / robust_hi; requires --solver auto
 //   --summary         print a batch summary line to stderr at the end
 //   --sessions        stateful mode: lines are session ops
 //                     (open/delta/close, docs/INCREMENTAL.md) routed
@@ -41,8 +44,8 @@ namespace {
 void usage() {
   std::cerr << "usage: batch_solver [batch.jsonl | -] [--files f1 f2 ...]\n"
             << "         [--solver auto|nested|general|greedy|exact] [--timeout-ms N]\n"
-            << "         [--threads N] [--no-keep-going] [--summary]\n"
-            << "         [--sessions]\n";
+            << "         [--threads N] [--no-keep-going] [--robust]\n"
+            << "         [--summary] [--sessions]\n";
 }
 
 /// Stateful mode: every line is one session op (open/delta/close),
@@ -109,6 +112,9 @@ int main(int argc, char** argv) {
       reading_files = false;
     } else if (arg == "--no-keep-going") {
       options.keep_going = false;
+      reading_files = false;
+    } else if (arg == "--robust") {
+      options.robust = true;
       reading_files = false;
     } else if (arg == "--summary") {
       summary = true;

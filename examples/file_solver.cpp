@@ -3,7 +3,12 @@
 //
 //   $ ./examples/file_solver < instance.txt
 //   $ ./examples/file_solver instance.txt --greedy
+//   $ ./examples/file_solver instance.txt --robust
 //   $ ./examples/file_solver instance.txt --report run.json
+//
+// --robust runs the interval-time pipeline (docs/ROBUST.md): the solve
+// additionally certifies the whole [p_lo, p_hi] uncertainty box and
+// prints the sandwich LP(p_lo) <= ALG <= robust_hi.
 //
 // --report <file> dumps the run as a JSON observability report
 // (schema in docs/OBSERVABILITY.md): instance stats, per-stage wall-ns
@@ -14,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "activetime/robust.hpp"
 #include "activetime/solver.hpp"
 #include "baselines/greedy.hpp"
 #include "io/serialize.hpp"
@@ -43,10 +49,13 @@ int main(int argc, char** argv) {
   std::string path;
   std::string report_path;
   bool use_greedy = false;
+  bool use_robust = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--greedy") {
       use_greedy = true;
+    } else if (arg == "--robust") {
+      use_robust = true;
     } else if (arg == "--report") {
       if (a + 1 >= argc) {
         std::cerr << "--report needs a file argument\n";
@@ -88,6 +97,26 @@ int main(int argc, char** argv) {
       summary.solver = "greedy";
       summary.active_slots = r.active_slots;
       io::write_schedule(std::cout, instance, r.schedule);
+    } else if (use_robust) {
+      // Robust interval-time pipeline: nominal solve plus the
+      // worst-case feasibility check and sandwich bounds for the whole
+      // [p_lo, p_hi] box (docs/ROBUST.md).
+      at::RobustSolveResult r = at::solve_robust(instance);
+      summary.solver = at::to_string(r.nominal.backend);
+      summary.active_slots = r.nominal.active_slots;
+      summary.lp_objective = r.nominal.lp_value;
+      summary.lp_iterations = r.nominal.lp_iterations;
+      summary.repairs = r.nominal.repairs;
+      summary.robust_lo = r.robust_lo;
+      summary.robust_hi = r.robust_hi;
+      if (r.degenerate) {
+        std::cout << "point instance (no uncertainty intervals); robust "
+                     "bounds collapse to the nominal solve\n";
+      }
+      std::cout << "robust sandwich: " << r.robust_lo
+                << " <= ALG = " << r.nominal.active_slots
+                << " <= " << r.robust_hi << '\n';
+      io::write_schedule(std::cout, instance, r.nominal.schedule);
     } else {
       // Laminarity dispatch: the 9/5 nested pipeline when windows
       // nest, the LP-rounding 2-approx otherwise (docs/GENERAL.md).

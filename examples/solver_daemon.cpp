@@ -29,7 +29,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <streambuf>
 #include <string>
 
 #include <sys/socket.h>
@@ -37,62 +36,18 @@
 #include <unistd.h>
 
 #include "daemon/daemon.hpp"
+#include "util/fd_streambuf.hpp"
 
 namespace {
+
+using nat::util::FdStreambuf;
 
 void usage() {
   std::cerr << "usage: solver_daemon [--socket PATH] [--threads N] [--fifo]\n"
             << "         [--default-deadline-ms N] [--solver NAME]\n"
             << "         [--max-queue-depth N] [--max-in-flight N]\n"
-            << "         [--summary]\n";
+            << "         [--robust] [--summary]\n";
 }
-
-/// Minimal buffered streambuf over one socket fd, so the daemon's
-/// iostream-based serve() loop works unchanged on a connection.
-class FdStreambuf : public std::streambuf {
- public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
-    setg(ibuf_, ibuf_, ibuf_);
-    setp(obuf_, obuf_ + sizeof(obuf_));
-  }
-
- protected:
-  int_type underflow() override {
-    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
-    if (n <= 0) return traits_type::eof();
-    setg(ibuf_, ibuf_, ibuf_ + n);
-    return traits_type::to_int_type(ibuf_[0]);
-  }
-
-  int_type overflow(int_type ch) override {
-    if (!flush_buffer()) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return flush_buffer() ? 0 : -1; }
-
- private:
-  bool flush_buffer() {
-    const ssize_t n = pptr() - pbase();
-    ssize_t off = 0;
-    while (off < n) {
-      const ssize_t w = ::write(fd_, pbase() + off,
-                                static_cast<std::size_t>(n - off));
-      if (w <= 0) return false;
-      off += w;
-    }
-    pbump(static_cast<int>(-n));
-    return true;
-  }
-
-  int fd_;
-  char ibuf_[4096];
-  char obuf_[4096];
-};
 
 /// Sequential accept loop: each connection is one serve() call; the
 /// daemon's state persists between them. A shutdown op ends both the
@@ -163,6 +118,8 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--solver" && i + 1 < argc) {
       options.batch.solver = argv[++i];
+    } else if (arg == "--robust") {
+      options.batch.robust = true;
     } else if (arg == "--max-queue-depth" && i + 1 < argc) {
       options.tenant_defaults.max_queue_depth =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));

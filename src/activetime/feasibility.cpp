@@ -17,12 +17,17 @@ std::vector<Time> dedup_sorted(std::vector<Time> v) {
   return v;
 }
 
-/// Builds the job→slot network; returns (graph, s, t, edge ids of
-/// job→slot arcs as flat j*S+k matrix with -1 for invalid pairs).
+/// Builds the job→slot network. The job→slot arcs are stored sparsely:
+/// a job's half-open window covers a *contiguous* run of the sorted
+/// slot array, so per job we keep the first covered slot index plus one
+/// edge id per covered slot. The former dense n×S matrix needed
+/// n*S entries (and n*S index products that overflow 32 bits near the
+/// job-count cap with wide windows); this is O(total covered slots).
 struct SlotNetwork {
   flow::MaxFlowGraph graph;
   int s = 0, t = 0;
-  std::vector<int> job_slot_edge;  // n x S, -1 where window misses slot
+  std::vector<std::size_t> job_first_slot;  // index into slots, per job
+  std::vector<std::vector<int>> job_edges;  // edge ids, per covered slot
   std::vector<Time> slots;
 };
 
@@ -35,7 +40,8 @@ SlotNetwork build_slot_network(const Instance& instance,
   net.graph = flow::MaxFlowGraph(n + S + 2);
   net.s = n + S;
   net.t = n + S + 1;
-  net.job_slot_edge.assign(static_cast<std::size_t>(n) * S, -1);
+  net.job_first_slot.assign(static_cast<std::size_t>(n), 0);
+  net.job_edges.resize(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     net.graph.add_edge(net.s, j, instance.jobs[j].processing);
   }
@@ -44,11 +50,16 @@ SlotNetwork build_slot_network(const Instance& instance,
   }
   for (int j = 0; j < n; ++j) {
     const Interval w = instance.jobs[j].window();
-    for (int k = 0; k < S; ++k) {
-      if (w.contains(net.slots[k])) {
-        net.job_slot_edge[static_cast<std::size_t>(j) * S + k] =
-            net.graph.add_edge(j, n + k, 1);
-      }
+    const auto first =
+        std::lower_bound(net.slots.begin(), net.slots.end(), w.lo);
+    const auto last = std::lower_bound(first, net.slots.end(), w.hi);
+    net.job_first_slot[j] =
+        static_cast<std::size_t>(first - net.slots.begin());
+    auto& edges = net.job_edges[j];
+    edges.reserve(static_cast<std::size_t>(last - first));
+    for (auto it = first; it != last; ++it) {
+      const int k = static_cast<int>(it - net.slots.begin());
+      edges.push_back(net.graph.add_edge(j, n + k, 1));
     }
   }
   return net;
@@ -71,14 +82,14 @@ std::optional<Schedule> schedule_with_slots(
     return std::nullopt;
   }
   const int n = instance.num_jobs();
-  const int S = static_cast<int>(net.slots.size());
   Schedule sched;
   sched.assignment.resize(n);
   for (int j = 0; j < n; ++j) {
-    for (int k = 0; k < S; ++k) {
-      int e = net.job_slot_edge[static_cast<std::size_t>(j) * S + k];
-      if (e >= 0 && net.graph.flow_on(e) > 0) {
-        sched.assignment[j].push_back(net.slots[k]);
+    const std::size_t first = net.job_first_slot[j];
+    const std::vector<int>& edges = net.job_edges[j];
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (net.graph.flow_on(edges[i]) > 0) {
+        sched.assignment[j].push_back(net.slots[first + i]);
       }
     }
   }

@@ -49,14 +49,20 @@ class SlotOracle {
     for (int k = 0; k < S; ++k) {
       sink_edge_[k] = graph_.add_edge(n + k, t_, 0);  // every slot closed
     }
-    job_slot_edge_.assign(static_cast<std::size_t>(n) * S, -1);
+    // Sparse job→slot arcs: a half-open window covers a contiguous run
+    // of the sorted slot array, so per job we keep [first, last) slot
+    // indices instead of the former dense n×S matrix (whose n*S index
+    // products overflow 32 bits near the job-count cap on wide
+    // horizons, and whose memory is quadratic for no reason).
+    job_slot_range_.resize(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const Interval w = instance.jobs[j].window();
-      for (int k = 0; k < S; ++k) {
-        if (w.contains(slots_[k])) {
-          job_slot_edge_[static_cast<std::size_t>(j) * S + k] =
-              graph_.add_edge(j, n + k, 1);
-        }
+      const auto first = std::lower_bound(slots_.begin(), slots_.end(), w.lo);
+      const auto last = std::lower_bound(first, slots_.end(), w.hi);
+      job_slot_range_[j] = {static_cast<int>(first - slots_.begin()),
+                            static_cast<int>(last - slots_.begin())};
+      for (auto it = first; it != last; ++it) {
+        graph_.add_edge(j, n + static_cast<int>(it - slots_.begin()), 1);
       }
     }
     open_.assign(S, 0);
@@ -94,11 +100,9 @@ class SlotOracle {
   /// strictly grows the flow.
   bool open_can_help(int k, const std::vector<bool>& cut) const {
     const int n = instance_->num_jobs();
-    const int S = num_slots();
     for (int j = 0; j < n; ++j) {
-      if (cut[j] && job_slot_edge_[static_cast<std::size_t>(j) * S + k] >= 0) {
-        return true;
-      }
+      const auto& [first, last] = job_slot_range_[j];
+      if (cut[j] && first <= k && k < last) return true;
     }
     return false;
   }
@@ -122,7 +126,8 @@ class SlotOracle {
   flow::MaxFlowGraph graph_;
   int s_ = 0, t_ = 0;
   std::vector<int> sink_edge_;
-  std::vector<int> job_slot_edge_;  // n x S, -1 where window misses slot
+  // Per-job [first, last) covered range of the sorted slot array.
+  std::vector<std::pair<int, int>> job_slot_range_;
   std::vector<char> open_;
   std::int64_t open_count_ = 0;
   std::int64_t total_volume_ = 0;

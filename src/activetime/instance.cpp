@@ -25,7 +25,52 @@ void Instance::validate() const {
     NAT_CHECK_MSG(job.deadline >= job.release + job.processing,
                   "job " << j << ": window " << job.window()
                          << " shorter than processing " << job.processing);
+    if (job.has_processing_interval()) {
+      NAT_CHECK_MSG(job.processing_lo >= 1,
+                    "job " << j << ": processing_lo must be >= 1");
+      NAT_CHECK_MSG(job.processing_lo <= job.processing &&
+                        job.processing <= job.processing_hi,
+                    "job " << j << ": processing interval ["
+                           << job.processing_lo << "," << job.processing_hi
+                           << "] must bracket processing "
+                           << job.processing);
+      NAT_CHECK_MSG(job.deadline >= job.release + job.processing_hi,
+                    "job " << j << ": window " << job.window()
+                           << " shorter than worst-case processing "
+                           << job.processing_hi);
+    }
   }
+}
+
+bool Instance::has_processing_intervals() const {
+  for (const Job& job : jobs) {
+    if (job.has_processing_interval()) return true;
+  }
+  return false;
+}
+
+Instance Instance::lo_corner() const {
+  Instance corner;
+  corner.g = g;
+  corner.jobs = jobs;
+  for (Job& job : corner.jobs) {
+    if (job.has_processing_interval()) job.processing = job.processing_lo;
+    job.processing_lo = 0;
+    job.processing_hi = 0;
+  }
+  return corner;
+}
+
+Instance Instance::hi_corner() const {
+  Instance corner;
+  corner.g = g;
+  corner.jobs = jobs;
+  for (Job& job : corner.jobs) {
+    if (job.has_processing_interval()) job.processing = job.processing_hi;
+    job.processing_lo = 0;
+    job.processing_hi = 0;
+  }
+  return corner;
 }
 
 Interval Instance::horizon() const {

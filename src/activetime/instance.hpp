@@ -15,9 +15,23 @@ struct Instance {
 
   int num_jobs() const { return static_cast<int>(jobs.size()); }
 
-  /// Throws util::CheckError when malformed (g < 1, p < 1, or a window
-  /// shorter than its job's processing time).
+  /// Throws util::CheckError when malformed (g < 1, p < 1, a window
+  /// shorter than its job's processing time, or an uncertainty
+  /// interval violating 1 <= p_lo <= p <= p_hi <= window length).
   void validate() const;
+
+  /// True when any job carries a [p_lo, p_hi] uncertainty interval
+  /// (docs/ROBUST.md). Point instances — the common case — return
+  /// false and never touch the robust machinery.
+  bool has_processing_intervals() const;
+
+  /// The best-case corner: every interval job at p = p_lo, point jobs
+  /// unchanged. Intervals are stripped so the corner is a point
+  /// instance the solvers accept as-is.
+  Instance lo_corner() const;
+
+  /// The worst-case corner: every interval job at p = p_hi.
+  Instance hi_corner() const;
 
   /// [min release, max deadline); empty interval when there are no jobs.
   Interval horizon() const;

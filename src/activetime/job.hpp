@@ -34,12 +34,25 @@ std::ostream& operator<<(std::ostream& os, const Interval& iv);
 
 /// A preemptible job: must receive `processing` distinct unit slots
 /// inside its window [release, deadline).
+///
+/// Robust mode (docs/ROBUST.md): a job may additionally carry an
+/// uncertainty interval [processing_lo, processing_hi] around its
+/// nominal processing time. Both 0 (the default) means "point job" —
+/// the solvers only ever read `processing`, so point instances are
+/// bit-identical with or without the robust machinery; the robust
+/// driver (robust.hpp) materializes the lo/hi corner instances itself.
 struct Job {
   Time release = 0;
   Time deadline = 0;
   std::int64_t processing = 1;
+  std::int64_t processing_lo = 0;  // 0 = no uncertainty interval
+  std::int64_t processing_hi = 0;  // 0 = no uncertainty interval
 
   Interval window() const { return Interval{release, deadline}; }
+  /// True when this job carries a [p_lo, p_hi] uncertainty interval.
+  bool has_processing_interval() const {
+    return processing_lo != 0 || processing_hi != 0;
+  }
   friend bool operator==(const Job&, const Job&) = default;
 };
 

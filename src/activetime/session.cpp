@@ -38,6 +38,8 @@ std::uint64_t group_key(std::int64_t g, const std::vector<Job>& jobs) {
     h = mix(h, static_cast<std::uint64_t>(j.release));
     h = mix(h, static_cast<std::uint64_t>(j.deadline));
     h = mix(h, static_cast<std::uint64_t>(j.processing));
+    h = mix(h, static_cast<std::uint64_t>(j.processing_lo));
+    h = mix(h, static_cast<std::uint64_t>(j.processing_hi));
   }
   return h;
 }
@@ -160,6 +162,13 @@ const SessionResult& SolverSession::apply(const Delta& delta) {
                   "ShrinkWindow: new window must fit inside the old one");
               j.release = d.window.lo;
               j.deadline = d.window.hi;
+            },
+            [&](const Retime& d) {
+              NAT_CHECK_MSG(d.job >= 0 && d.job < num_jobs(),
+                            "Retime: index out of range");
+              Job& j = instance_.jobs[static_cast<std::size_t>(d.job)];
+              j.processing_lo = d.processing_lo;
+              j.processing_hi = d.processing_hi;
             },
         },
         delta);

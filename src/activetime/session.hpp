@@ -4,7 +4,7 @@
 // laminar forests, strengthened LP models, sparse-simplex bases, warm
 // feasibility-oracle networks, rounded counts, schedule fragments — and
 // accepts typed deltas (AddJob / RemoveJob / ExtendWindow /
-// ShrinkWindow), re-solving only what a delta invalidates.
+// ShrinkWindow / Retime), re-solving only what a delta invalidates.
 //
 // Localization exploits that the whole 9/5 pipeline is block-separable
 // per *root window group*: jobs whose windows land in disjoint maximal
@@ -60,7 +60,18 @@ struct ShrinkWindow {
   int job = -1;
   Interval window;
 };
-using Delta = std::variant<AddJob, RemoveJob, ExtendWindow, ShrinkWindow>;
+// Replaces a job's processing-time uncertainty box [p_lo, p_hi]
+// (docs/ROBUST.md) — widening or narrowing it around the unchanged
+// nominal p; lo = hi = 0 clears the box, turning the job back into a
+// point job. Instance::validate() enforces the box invariants after
+// the edit (and rolls back on violation, like every delta).
+struct Retime {
+  int job = -1;
+  std::int64_t processing_lo = 0;
+  std::int64_t processing_hi = 0;
+};
+using Delta =
+    std::variant<AddJob, RemoveJob, ExtendWindow, ShrinkWindow, Retime>;
 
 struct SessionOptions {
   StrongLpOptions lp;

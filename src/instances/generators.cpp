@@ -254,6 +254,31 @@ Instance random_general(const RandomGeneralParams& params, util::Rng& rng) {
   return instance;
 }
 
+void add_processing_intervals(Instance& instance, double probability,
+                              util::Rng& rng) {
+  NAT_CHECK(probability >= 0.0 && probability <= 1.0);
+  for (Job& job : instance.jobs) {
+    if (!rng.chance(probability)) continue;
+    // The pre-interval p becomes the worst corner, so the instance's
+    // all-open feasibility at p = p_hi is inherited from the base draw.
+    const std::int64_t hi = job.processing;
+    const std::int64_t nominal = rng.uniform_int(1, hi);
+    const std::int64_t lo = rng.uniform_int(1, nominal);
+    job.processing = nominal;
+    job.processing_lo = lo;
+    job.processing_hi = hi;
+  }
+}
+
+Instance random_interval(const RandomIntervalParams& params, util::Rng& rng) {
+  Instance instance = params.laminar
+                          ? random_laminar(params.laminar_params, rng)
+                          : random_general(params.general_params, rng);
+  add_processing_intervals(instance, params.interval_probability, rng);
+  instance.validate();
+  return instance;
+}
+
 Instance hard_crossing(std::int64_t g, int k) {
   NAT_CHECK(g >= 2 && k >= 2);
   Instance instance;

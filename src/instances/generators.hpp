@@ -99,6 +99,33 @@ struct RandomGeneralParams {
 /// the laminarity dispatcher should absorb.
 Instance random_general(const RandomGeneralParams& params, util::Rng& rng);
 
+/// --- Robust (interval processing time) families ---------------------------
+
+struct RandomIntervalParams {
+  // Base family the intervals are attached to: a random laminar draw
+  // when true, a random general (crossing-window) draw otherwise.
+  bool laminar = true;
+  RandomLaminarParams laminar_params;
+  RandomGeneralParams general_params;
+  // Per-job probability of carrying an uncertainty box; the rest stay
+  // point jobs, so degenerate and interval jobs mix in one instance.
+  double interval_probability = 0.7;
+};
+
+/// Attaches processing-time uncertainty boxes to the jobs of `instance`
+/// in place: each selected job's current p becomes the box's p_hi, the
+/// nominal is redrawn uniformly from [1, p_hi], and p_lo uniformly from
+/// [1, nominal]. Because the original instance was feasible at p = p_hi,
+/// the worst-case corner stays feasible by construction. Deterministic
+/// given `rng`. Exposed for the robust fuzz family.
+void add_processing_intervals(Instance& instance, double probability,
+                              util::Rng& rng);
+
+/// Random robust instance (docs/ROBUST.md): a base draw from the
+/// laminar or general family, with uncertainty boxes attached by
+/// add_processing_intervals. Worst-case feasible by construction.
+Instance random_interval(const RandomIntervalParams& params, util::Rng& rng);
+
 /// Hard crossing family in the style of the Saha–Purohit NP-hardness
 /// constructions (PAPERS.md, arXiv 2112.03255): a chain of k
 /// overlapping length-3 windows [2i, 2i+3), each saturated with g+1

@@ -17,20 +17,26 @@ constexpr std::size_t kMaxSerializedJobs = 10'000'000;
 }  // namespace
 
 void write_instance(std::ostream& os, const at::Instance& instance) {
-  os << "activetime v1\n";
+  // v1 for point instances so the pre-robust format stays byte-for-byte
+  // identical; v2 (five tokens per job) only when an uncertainty
+  // interval is actually present.
+  const bool v2 = instance.has_processing_intervals();
+  os << (v2 ? "activetime v2\n" : "activetime v1\n");
   os << "g " << instance.g << '\n';
   os << "jobs " << instance.jobs.size() << '\n';
   for (const at::Job& job : instance.jobs) {
-    os << job.release << ' ' << job.deadline << ' ' << job.processing
-       << '\n';
+    os << job.release << ' ' << job.deadline << ' ' << job.processing;
+    if (v2) os << ' ' << job.processing_lo << ' ' << job.processing_hi;
+    os << '\n';
   }
 }
 
 at::Instance read_instance(std::istream& is) {
   std::string magic, version, key;
   is >> magic >> version;
-  NAT_CHECK_MSG(magic == "activetime" && version == "v1",
+  NAT_CHECK_MSG(magic == "activetime" && (version == "v1" || version == "v2"),
                 "bad header: '" << magic << ' ' << version << "'");
+  const bool v2 = version == "v2";
   at::Instance instance;
   std::size_t n = 0;
   is >> key;
@@ -52,6 +58,7 @@ at::Instance read_instance(std::istream& is) {
   for (std::size_t j = 0; j < n; ++j) {
     at::Job job;
     is >> job.release >> job.deadline >> job.processing;
+    if (v2) is >> job.processing_lo >> job.processing_hi;
     NAT_CHECK_MSG(static_cast<bool>(is), "truncated job list at " << j);
     instance.jobs.push_back(job);
   }

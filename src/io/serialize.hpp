@@ -5,8 +5,19 @@
 //   jobs <n>
 //   <release> <deadline> <processing>     (n lines)
 //
-// Round-trips exactly; used by the examples and by anyone who wants to
-// feed instances in from files.
+// Instances whose jobs carry [p_lo, p_hi] uncertainty intervals
+// (docs/ROBUST.md) use the v2 header with five tokens per job line:
+//
+//   activetime v2
+//   g <g>
+//   jobs <n>
+//   <release> <deadline> <processing> <p_lo> <p_hi>   (n lines;
+//       p_lo = p_hi = 0 marks a point job inside a v2 file)
+//
+// write_instance picks v1 for point instances (byte-identical with the
+// pre-robust format) and v2 only when an interval is present;
+// read_instance accepts both. Round-trips exactly; used by the
+// examples and by anyone who wants to feed instances in from files.
 #pragma once
 
 #include <iosfwd>

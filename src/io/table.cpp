@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iomanip>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
@@ -23,6 +24,9 @@ void Table::add_row(std::vector<std::string> cells) {
 
 std::string Table::num(double v, int precision) {
   std::ostringstream os;
+  // Classic locale always: a global de_DE-style locale would print
+  // decimal commas and break the CSV/markdown output downstream.
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }

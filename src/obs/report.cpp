@@ -1,9 +1,11 @@
 #include "obs/report.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <system_error>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -106,9 +108,14 @@ void number_to(std::string& out, double v) {
     out += "null";  // JSON has no NaN/Inf
     return;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
+  // std::to_chars, not snprintf("%g"): printf obeys LC_NUMERIC, so a
+  // host locale like de_DE.UTF-8 would emit "0,5" and corrupt every
+  // JSONL record. to_chars is locale-independent and shortest
+  // round-trip by construction.
+  char buf[64];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof buf, v);
+  NAT_CHECK_MSG(r.ec == std::errc(), "json: to_chars failed");
+  out.append(buf, r.ptr);
 }
 
 }  // namespace
@@ -307,14 +314,23 @@ class Parser {
       }
     }
     NAT_CHECK_MSG(pos_ > start, "json: expected a value at offset " << pos_);
-    const std::string tok(text_.substr(start, pos_ - start));
-    try {
-      if (integral) return Json(static_cast<std::int64_t>(std::stoll(tok)));
-      return Json(std::stod(tok));
-    } catch (const std::exception&) {
-      NAT_CHECK_MSG(false, "json: bad number '" << tok << "'");
+    // std::from_chars, not stoll/stod: the sto* family routes through
+    // strtod and honors LC_NUMERIC, so records written with '.' would
+    // fail to parse back under a comma-decimal locale. from_chars is
+    // locale-independent and round-trips what number_to emits exactly.
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t iv = 0;
+      const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      NAT_CHECK_MSG(r.ec == std::errc() && r.ptr == tok.data() + tok.size(),
+                    "json: bad number '" << std::string(tok) << "'");
+      return Json(iv);
     }
-    return Json();  // unreachable
+    double dv = 0.0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+    NAT_CHECK_MSG(r.ec == std::errc() && r.ptr == tok.data() + tok.size(),
+                  "json: bad number '" << std::string(tok) << "'");
+    return Json(dv);
   }
 
   Json parse_array() {
@@ -395,6 +411,10 @@ Json run_report(const RunSummary& summary) {
   run["lp_iterations"] =
       summary.lp_iterations >= 0 ? Json(summary.lp_iterations) : Json();
   run["repairs"] = summary.repairs >= 0 ? Json(summary.repairs) : Json();
+  if (summary.robust_hi >= 0) {
+    run["robust_lo"] = summary.robust_lo;
+    run["robust_hi"] = summary.robust_hi;
+  }
 
   Json& counters = report["counters"];
   counters = Json::object();  // present even when empty

@@ -114,6 +114,11 @@ struct RunSummary {
   double lp_objective = -1.0;       // LP lower bound; < 0 when unused
   std::int64_t lp_iterations = -1;
   std::int64_t repairs = -1;
+
+  // Robust interval-time certificate (docs/ROBUST.md); robust_hi = -1
+  // means the run was not robust and neither field serializes.
+  double robust_lo = -1.0;
+  std::int64_t robust_hi = -1;
 };
 
 /// Builds the full report object: {"schema", "instance", "run",

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "activetime/robust.hpp"
 #include "baselines/exact.hpp"
 #include "baselines/greedy.hpp"
 #include "io/serialize.hpp"
@@ -47,15 +48,22 @@ at::Instance parse_json_instance(const std::string& text) {
   instance.jobs.reserve(jobs->size());
   for (std::size_t k = 0; k < jobs->size(); ++k) {
     const obs::Json& row = jobs->at(k);
-    NAT_CHECK_MSG(row.is_array() && row.size() == 3 && row.at(0).is_number() &&
-                      row.at(1).is_number() && row.at(2).is_number(),
-                  "cell payload: job " << k
-                                       << " must be [release, deadline, "
-                                          "processing]");
+    bool ok = row.is_array() && (row.size() == 3 || row.size() == 5);
+    for (std::size_t f = 0; ok && f < row.size(); ++f) {
+      ok = row.at(f).is_number();
+    }
+    NAT_CHECK_MSG(ok, "cell payload: job "
+                          << k
+                          << " must be [release, deadline, processing] or "
+                             "[release, deadline, processing, p_lo, p_hi]");
     at::Job job;
     job.release = row.at(0).as_int();
     job.deadline = row.at(1).as_int();
     job.processing = row.at(2).as_int();
+    if (row.size() == 5) {
+      job.processing_lo = row.at(3).as_int();
+      job.processing_hi = row.at(4).as_int();
+    }
     instance.jobs.push_back(job);
   }
   return instance;
@@ -73,6 +81,10 @@ obs::Json cell_record(const CellResult& cell) {
   if (cell.jobs >= 0) j["jobs"] = static_cast<std::int64_t>(cell.jobs);
   if (cell.active_slots >= 0) j["active_slots"] = cell.active_slots;
   if (cell.lp_value >= 0.0) j["lp_value"] = cell.lp_value;
+  if (cell.robust_hi >= 0) {
+    j["robust_lo"] = cell.robust_lo;
+    j["robust_hi"] = cell.robust_hi;
+  }
   j["wall_ms"] = static_cast<double>(cell.wall_ns) / 1e6;
   return j;
 }
@@ -153,9 +165,27 @@ CellResult solve_cell(const BatchItem& item, int index,
                 "the " + solver + " solver requires nested (laminar) windows",
                 sw);
   }
+  if (options.robust && solver != "auto") {
+    return fail(r, CellStatus::kError, "input:solver",
+                "robust mode requires solver \"auto\" (got \"" + solver +
+                    "\")",
+                sw);
+  }
 
   try {
-    if (solver == "auto") {
+    if (options.robust) {
+      at::RobustSolverOptions robust;
+      robust.base.nested = options.nested;
+      robust.base.general = options.general;
+      robust.cancel = cancel;
+      const at::RobustSolveResult res = at::solve_robust(instance, robust);
+      r.solver = to_string(res.nominal.backend);
+      r.backend = to_string(res.nominal.backend);
+      r.active_slots = res.nominal.active_slots;
+      r.lp_value = res.nominal.lp_value;
+      r.robust_lo = res.robust_lo;
+      r.robust_hi = res.robust_hi;
+    } else if (solver == "auto") {
       at::ActiveTimeOptions dispatch;
       dispatch.nested = options.nested;
       dispatch.general = options.general;

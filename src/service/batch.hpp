@@ -55,6 +55,9 @@ struct BatchItem {
   std::string text;  // the payload
   Format format = Format::kJson;
 };
+// JSON job rows may also be 5-element [r, d, p, p_lo, p_hi] to carry a
+// processing-time uncertainty interval (docs/ROBUST.md); native
+// payloads use the "activetime v2" format for the same.
 
 struct CellResult {
   int index = -1;              // position in the batch
@@ -70,6 +73,10 @@ struct CellResult {
   double lp_value = -1.0;          // LP lower bound; < 0 when unused
   int jobs = -1;                   // parsed job count; -1 if parse failed
   std::int64_t wall_ns = 0;        // cell wall time (parse + solve)
+  // Robust-mode certificate (docs/ROBUST.md); robust_hi < 0 means the
+  // robust solve did not run (emission is keyed on robust_hi >= 0).
+  double robust_lo = -1.0;         // best-case LP lower bound LP(p_lo)
+  std::int64_t robust_hi = -1;     // worst-case upper bound
 };
 
 struct BatchOptions {
@@ -93,6 +100,13 @@ struct BatchOptions {
   at::GeneralSolverOptions general;
   // Node budget for the exact solver.
   std::int64_t exact_node_budget = 20'000'000;
+  // Robust interval-time mode (docs/ROBUST.md): every cell routes
+  // through at::solve_robust, records gain robust_lo / robust_hi, and
+  // a worst-case-infeasible box fails its cell with the usual
+  // infeasibility class. Requires solver == "auto" (solve_robust owns
+  // the per-corner dispatch); point cells take the degenerate path,
+  // which is bit-identical to the non-robust solve.
+  bool robust = false;
 };
 
 struct BatchReport {
@@ -128,7 +142,8 @@ CellResult solve_cell(const BatchItem& item, int index,
 
 /// Parses one JSON cell payload:
 ///   {"id": "...", "g": 2, "jobs": [[release, deadline, processing], ...]}
-/// ("id" is optional — solve_batch takes the id from BatchItem).
+/// ("id" is optional — solve_batch takes the id from BatchItem). Job
+/// rows may also be 5-element [r, d, p, p_lo, p_hi] interval jobs.
 /// Throws util::CheckError on malformed input.
 at::Instance parse_json_instance(const std::string& text);
 

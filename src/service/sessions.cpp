@@ -45,15 +45,23 @@ at::Delta parse_delta(const obs::Json& line) {
   const std::string& k = kind->as_string();
   if (k == "add") {
     const obs::Json* j = line.find("job");
-    NAT_CHECK_MSG(j != nullptr && j->is_array() && j->size() == 3 &&
-                      j->at(0).is_number() && j->at(1).is_number() &&
-                      j->at(2).is_number(),
+    bool ok = j != nullptr && j->is_array() && (j->size() == 3 ||
+                                                j->size() == 5);
+    for (std::size_t f = 0; ok && f < j->size(); ++f) {
+      ok = j->at(f).is_number();
+    }
+    NAT_CHECK_MSG(ok,
                   "delta line: \"job\" must be [release, deadline, "
-                  "processing]");
+                  "processing] or [release, deadline, processing, p_lo, "
+                  "p_hi]");
     at::Job job;
     job.release = j->at(0).as_int();
     job.deadline = j->at(1).as_int();
     job.processing = j->at(2).as_int();
+    if (j->size() == 5) {
+      job.processing_lo = j->at(3).as_int();
+      job.processing_hi = j->at(4).as_int();
+    }
     return at::AddJob{job};
   }
   if (k == "remove") return at::RemoveJob{parse_index(line)};
@@ -61,6 +69,16 @@ at::Delta parse_delta(const obs::Json& line) {
                                              parse_window(line)};
   if (k == "shrink") return at::ShrinkWindow{parse_index(line),
                                              parse_window(line)};
+  if (k == "retime") {
+    // Widen or narrow a job's [p_lo, p_hi] uncertainty box
+    // (docs/ROBUST.md): {"kind":"retime","index":i,"interval":[lo,hi]}.
+    const obs::Json* iv = line.find("interval");
+    NAT_CHECK_MSG(iv != nullptr && iv->is_array() && iv->size() == 2 &&
+                      iv->at(0).is_number() && iv->at(1).is_number(),
+                  "delta line: \"interval\" must be [p_lo, p_hi]");
+    return at::Retime{parse_index(line), iv->at(0).as_int(),
+                      iv->at(1).as_int()};
+  }
   NAT_CHECK_MSG(false, "delta line: unknown kind \"" << k << "\"");
 }
 

@@ -11,7 +11,13 @@
 //                                 "window":[lo,hi]}
 //   {"op":"delta", "session":"a", "kind":"shrink", "index":3,
 //                                 "window":[lo,hi]}
+//   {"op":"delta", "session":"a", "kind":"retime", "index":3,
+//                                 "interval":[p_lo,p_hi]}
 //   {"op":"close", "session":"a"}
+//
+// "add" jobs (and "open" rows) may carry 5 elements
+// [r, d, p, p_lo, p_hi] to attach a processing-time uncertainty box;
+// "retime" widens/narrows an existing box (docs/ROBUST.md).
 //
 // Each line is processed inside its own fault boundary, mirroring the
 // batch cells: a malformed line, an unknown session, or a rejected

@@ -54,10 +54,21 @@ class CancelToken {
   }
 
   /// Arms a deadline `ms` milliseconds from now. ms <= 0 means the
-  /// deadline has already passed (useful in tests).
+  /// deadline has already passed (useful in tests). Saturates: a `ms`
+  /// large enough that now + ms would overflow the clock's epoch
+  /// (e.g. --timeout-ms INT64_MAX/2) arms time_point::max() instead of
+  /// wrapping into the past and cancelling everything instantly.
   void set_timeout_ms(std::int64_t ms) {
-    set_deadline(std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(ms));
+    using clock = std::chrono::steady_clock;
+    const clock::time_point now = clock::now();
+    const clock::duration headroom = clock::time_point::max() - now;
+    const auto headroom_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(headroom);
+    if (ms > 0 && std::chrono::milliseconds(ms) >= headroom_ms) {
+      set_deadline(clock::time_point::max());
+      return;
+    }
+    set_deadline(now + std::chrono::milliseconds(ms));
   }
 
   bool deadline_armed() const { return has_deadline_; }

@@ -1,0 +1,76 @@
+// Minimal buffered std::streambuf over a POSIX file descriptor, used
+// by the solver daemon to run its iostream-based serve() loop over a
+// socket connection.
+//
+// Signal-hardened on purpose: JSONL framing dies if a record is
+// truncated mid-line, and a plain read(2)/write(2) can
+//
+//  * return -1 with errno == EINTR when a signal lands between bytes
+//    (handlers installed without SA_RESTART — as tests and some
+//    supervisors do — make this routine, not exotic), and
+//  * return a *short* write when the socket buffer fills up, which a
+//    single-shot write would silently drop the tail of.
+//
+// Both loops below retry on EINTR and drain partial writes until the
+// buffer is fully on the wire or a hard error occurs. A hard error
+// (EPIPE after the peer vanished, ...) still surfaces as eof/-1 so the
+// caller's stream goes bad instead of spinning.
+#pragma once
+
+#include <cerrno>
+#include <streambuf>
+
+#include <unistd.h>
+
+namespace nat::util {
+
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(ibuf_, ibuf_, ibuf_);
+    setp(obuf_, obuf_ + sizeof(obuf_));
+  }
+
+ protected:
+  int_type underflow() override {
+    ssize_t n;
+    do {
+      n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(ibuf_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!flush_buffer()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_buffer() ? 0 : -1; }
+
+ private:
+  bool flush_buffer() {
+    const ssize_t n = pptr() - pbase();
+    ssize_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd_, pbase() + off,
+                                static_cast<std::size_t>(n - off));
+      if (w < 0 && errno == EINTR) continue;  // retry the same span
+      if (w <= 0) return false;               // hard error
+      off += w;                               // may be a partial write
+    }
+    pbump(static_cast<int>(-n));
+    return true;
+  }
+
+  int fd_;
+  char ibuf_[4096];
+  char obuf_[4096];
+};
+
+}  // namespace nat::util

@@ -11,6 +11,7 @@
 
 #include "activetime/exact_pipeline.hpp"
 #include "activetime/feasibility.hpp"
+#include "activetime/robust.hpp"
 #include "activetime/rounding.hpp"
 #include "activetime/solver.hpp"
 #include "baselines/exact.hpp"
@@ -464,6 +465,215 @@ FuzzReport run_general_fuzz(const GeneralFuzzOptions& options) {
     v.original_jobs = instance.num_jobs();
     v.instance =
         minimize_general_violation(instance, v.failure_class, options);
+    if (!options.regression_dir.empty()) {
+      v.repro_path = write_repro(options.regression_dir, v);
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------------
+// Robust interval-time family.
+
+namespace {
+
+/// Rotating robust mix: interval-carrying laminar and general draws,
+/// and every fourth draw a pure point instance so the degenerate path
+/// is fuzzed through the same entry point.
+at::Instance generate_robust(int index, util::Rng& rng, int max_jobs) {
+  if (index % 4 == 3) return generate_general(index, rng, max_jobs);
+  at::gen::RandomIntervalParams p;
+  p.laminar = (index % 2 == 0);
+  p.laminar_params.g = rng.uniform_int(1, 4);
+  p.laminar_params.max_depth = static_cast<int>(rng.uniform_int(1, 3));
+  p.laminar_params.max_processing = rng.uniform_int(1, 4);
+  p.general_params.g = rng.uniform_int(1, 4);
+  p.general_params.jobs = static_cast<int>(rng.uniform_int(3, 12));
+  p.general_params.horizon = rng.uniform_int(6, 14);
+  p.general_params.max_length = rng.uniform_int(2, 8);
+  p.general_params.max_processing = rng.uniform_int(1, 4);
+  p.interval_probability = 0.8;
+  at::Instance inst = at::gen::random_interval(p, rng);
+  // Dropping trailing jobs preserves worst-case feasibility (fewer jobs
+  // only relax the p_hi corner).
+  if (inst.num_jobs() > max_jobs) {
+    inst.jobs.resize(static_cast<std::size_t>(max_jobs));
+  }
+  return inst;
+}
+
+/// The point projection: the same instance with every box cleared.
+at::Instance strip_intervals(const at::Instance& instance) {
+  at::Instance point = instance;
+  for (at::Job& job : point.jobs) {
+    job.processing_lo = 0;
+    job.processing_hi = 0;
+  }
+  return point;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> check_robust_instance(
+    const at::Instance& instance, const RobustFuzzOptions& options) {
+  if (instance.jobs.empty()) return {};
+  try {
+    at::RobustSolverOptions ropts;
+    ropts.base.nested.verify_level = VerifyLevel::kFull;
+    ropts.base.general.verify_level = VerifyLevel::kFull;
+    ropts.verify_level = VerifyLevel::kFull;
+    const at::RobustSolveResult res = at::solve_robust(instance, ropts);
+
+    if (res.degenerate == instance.has_processing_intervals()) {
+      return {"robust:degenerate_flag",
+              std::string("degenerate flag ") +
+                  (res.degenerate ? "set" : "clear") +
+                  " disagrees with the instance's intervals"};
+    }
+
+    // Degenerate-path contract: the nominal solve must be bit-identical
+    // to the point solver on the stripped instance (solvers only read
+    // the nominal p, so the boxes must not perturb anything).
+    at::ActiveTimeOptions dispatch;
+    dispatch.nested.verify_level = VerifyLevel::kFull;
+    dispatch.general.verify_level = VerifyLevel::kFull;
+    const at::ActiveTimeResult point =
+        at::solve_active_time(strip_intervals(instance), dispatch);
+    if (res.nominal.schedule.assignment != point.schedule.assignment ||
+        res.nominal.active_slots != point.active_slots ||
+        res.nominal.backend != point.backend) {
+      std::ostringstream os;
+      os << "nominal robust solve (slots " << res.nominal.active_slots
+         << ", backend " << at::to_string(res.nominal.backend)
+         << ") not bit-identical to the point solver (slots "
+         << point.active_slots << ", backend "
+         << at::to_string(point.backend) << ")";
+      return {"robust:point_identity", os.str()};
+    }
+
+    // The sandwich LP(p_lo) <= ALG(p) <= robust_hi.
+    const std::int64_t alg = res.nominal.active_slots;
+    if (res.robust_lo > static_cast<double>(alg) + 1e-6) {
+      std::ostringstream os;
+      os << "robust_lo " << res.robust_lo << " exceeds ALG " << alg;
+      return {"robust:lo_above_alg", os.str()};
+    }
+    if (alg > res.robust_hi) {
+      std::ostringstream os;
+      os << "ALG " << alg << " exceeds robust_hi " << res.robust_hi;
+      return {"robust:alg_above_hi", os.str()};
+    }
+
+    // Corner OPT legs: robust_lo must lower-bound the best corner's
+    // optimum, robust_hi must cover the worst corner's.
+    const at::Interval h = instance.horizon();
+    if (h.length() <= options.brute_force_max_horizon) {
+      const auto opt_lo = at::baselines::exact_opt_brute_force(
+          instance.lo_corner(), options.brute_force_max_horizon);
+      if (opt_lo.has_value() &&
+          res.robust_lo > static_cast<double>(*opt_lo) + 1e-6) {
+        std::ostringstream os;
+        os << "robust_lo " << res.robust_lo << " exceeds OPT(p_lo) = "
+           << *opt_lo;
+        return {"robust:lo_above_opt", os.str()};
+      }
+      const auto opt_hi = at::baselines::exact_opt_brute_force(
+          instance.hi_corner(), options.brute_force_max_horizon);
+      if (opt_hi.has_value() && res.robust_hi < *opt_hi) {
+        std::ostringstream os;
+        os << "robust_hi " << res.robust_hi << " below OPT(p_hi) = "
+           << *opt_hi << " (that many slots cannot cover the worst case)";
+        return {"robust:hi_below_opt", os.str()};
+      }
+    }
+  } catch (const util::CheckError& e) {
+    return {classify_failure(e.what()), e.what()};
+  }
+  return {};
+}
+
+at::Instance minimize_robust_violation(const at::Instance& instance,
+                                       const std::string& failure_class,
+                                       const RobustFuzzOptions& options) {
+  const auto fails_same = [&](const at::Instance& candidate) {
+    if (candidate.jobs.empty()) return false;
+    try {
+      candidate.validate();
+    } catch (const util::CheckError&) {
+      return false;  // e.g. a processing shrink that broke its box
+    }
+    return check_robust_instance(candidate, options).first == failure_class;
+  };
+
+  at::Instance current = shrink_instance(instance, fails_same);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t j = 0; j < current.jobs.size(); ++j) {
+      // Clear the whole box (point jobs are the simplest repro).
+      if (current.jobs[j].has_processing_interval()) {
+        at::Instance cand = current;
+        cand.jobs[j].processing_lo = 0;
+        cand.jobs[j].processing_hi = 0;
+        if (fails_same(cand)) {
+          current = std::move(cand);
+          improved = true;
+          continue;
+        }
+      }
+      // Narrow the box toward the nominal from both ends.
+      while (current.jobs[j].processing_hi > current.jobs[j].processing) {
+        at::Instance cand = current;
+        --cand.jobs[j].processing_hi;
+        if (!fails_same(cand)) break;
+        current = std::move(cand);
+        improved = true;
+      }
+      while (current.jobs[j].has_processing_interval() &&
+             current.jobs[j].processing_lo < current.jobs[j].processing) {
+        at::Instance cand = current;
+        ++cand.jobs[j].processing_lo;
+        if (!fails_same(cand)) break;
+        current = std::move(cand);
+        improved = true;
+      }
+    }
+    if (improved) current = shrink_instance(current, fails_same);
+  }
+  return current;
+}
+
+FuzzReport run_robust_fuzz(const RobustFuzzOptions& options) {
+  FuzzReport report;
+  util::Rng root(options.seed);
+  const auto start = std::chrono::steady_clock::now();
+  static obs::Counter& c_instances = obs::counter("at.fuzz.robust_instances");
+  static obs::Counter& c_violations =
+      obs::counter("at.fuzz.robust_violations");
+
+  for (int i = 0; i < options.instances; ++i) {
+    if (options.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > options.time_budget_seconds) break;
+    }
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const at::Instance instance = generate_robust(i, rng, options.max_jobs);
+    ++report.instances_run;
+    c_instances.add(1);
+
+    auto [failure_class, detail] = check_robust_instance(instance, options);
+    if (failure_class.empty()) continue;
+    c_violations.add(1);
+
+    Violation v;
+    v.index = i;
+    v.failure_class = std::move(failure_class);
+    v.detail = std::move(detail);
+    v.original_jobs = instance.num_jobs();
+    v.instance =
+        minimize_robust_violation(instance, v.failure_class, options);
     if (!options.regression_dir.empty()) {
       v.repro_path = write_repro(options.regression_dir, v);
     }

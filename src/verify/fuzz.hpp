@@ -124,6 +124,45 @@ at::Instance minimize_general_violation(const at::Instance& instance,
 FuzzReport run_general_fuzz(const GeneralFuzzOptions& options);
 
 // --------------------------------------------------------------------------
+// Robust interval-time family (docs/ROBUST.md): instances with
+// per-job [p_lo, p_hi] uncertainty boxes through at::solve_robust,
+// checking the sandwich LP(p_lo) <= ALG(p) <= robust_hi, corner
+// consistency against the brute-force OPT oracle on small horizons, and
+// — on every draw — that stripping the boxes reproduces the point
+// solver bit-identically (the degenerate-path contract).
+
+struct RobustFuzzOptions {
+  int instances = 200;
+  std::uint64_t seed = 1;
+  int max_jobs = 16;
+  double time_budget_seconds = 0.0;
+  std::string regression_dir;  // empty = do not write repro files
+  // Horizon cap for the brute-force OPT legs on the lo/hi corners;
+  // longer-horizon instances keep the LP/ALG sandwich legs only.
+  int brute_force_max_horizon = 16;
+};
+
+/// Runs solve_robust + the sandwich/corner/degenerate legs on one
+/// instance. Returns {failure_class, detail}; both empty when the
+/// instance certifies. Point instances exercise the degenerate path
+/// (bit-identity with solve_active_time).
+std::pair<std::string, std::string> check_robust_instance(
+    const at::Instance& instance, const RobustFuzzOptions& options);
+
+/// Greedy delta-debugging against check_robust_instance: drops jobs,
+/// shrinks g, narrows and clears uncertainty boxes — keeping only
+/// candidates that stay valid and fail with the same class.
+at::Instance minimize_robust_violation(const at::Instance& instance,
+                                       const std::string& failure_class,
+                                       const RobustFuzzOptions& options);
+
+/// The full loop: generate (random_interval laminar/general mix plus
+/// point draws), check, minimize, persist. Reuses FuzzReport/Violation;
+/// repro files use the "activetime v2" format when boxes survive
+/// minimization.
+FuzzReport run_robust_fuzz(const RobustFuzzOptions& options);
+
+// --------------------------------------------------------------------------
 // Delta-mutation family: random safe delta streams through a persistent
 // SolverSession, checking at every step that the incremental result is
 // bit-identical to a from-scratch session on the same instance, and at

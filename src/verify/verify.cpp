@@ -500,6 +500,31 @@ std::string check_general_budget(std::int64_t active_slots, double lp_value,
   return {};
 }
 
+std::string check_robust_sandwich(double robust_lo, std::int64_t alg,
+                                  std::int64_t robust_hi,
+                                  std::int64_t num_lp_terms, double radius) {
+  const Rational lo = rat(robust_lo);
+  if (lo < -slack(rat(radius), num_lp_terms, 1)) {
+    return "robust_lo is negative: " + lo.to_string();
+  }
+  // LP(p_lo) <= OPT(p_lo) <= OPT(p) <= ALG(p): the double-path LP
+  // objective accumulates one radius-accurate term per variable.
+  if (lo > Rational(alg) + slack(rat(radius), num_lp_terms, 1)) {
+    std::ostringstream os;
+    os << "robust sandwich violated: LP(p_lo) = " << lo.to_string()
+       << " > ALG = " << alg;
+    return os.str();
+  }
+  // ALG(p) <= robust_hi: both sides are exact slot counts.
+  if (alg > robust_hi) {
+    std::ostringstream os;
+    os << "robust sandwich violated: ALG = " << alg << " > robust_hi = "
+       << robust_hi;
+    return os.str();
+  }
+  return {};
+}
+
 void require(const char* stage, const std::string& report) {
   static obs::Counter& c_checks = obs::counter("at.verify.checks");
   c_checks.add(1);

@@ -111,6 +111,17 @@ std::string check_general_budget(std::int64_t active_slots, double lp_value,
                                  std::int64_t num_slots,
                                  double radius = kDefaultRadius);
 
+/// Robust sandwich certificate (docs/ROBUST.md): the best-case LP lower
+/// bound on the p_lo corner must not exceed the nominal algorithmic
+/// cost — LP(p_lo) <= OPT(p_lo) <= OPT(p) <= ALG(p) — and the nominal
+/// cost must not exceed the reported worst-case bound. The LP side is
+/// evaluated in Rational with slack for `num_lp_terms` radius-accurate
+/// objective terms; the ALG <= robust_hi side is exact integers.
+std::string check_robust_sandwich(double robust_lo, std::int64_t alg,
+                                  std::int64_t robust_hi,
+                                  std::int64_t num_lp_terms,
+                                  double radius = kDefaultRadius);
+
 /// Throwing wrapper for pipeline wiring: bumps at.verify.checks and
 /// at.verify.stage.<stage>, and on a non-empty report bumps
 /// at.verify.failures and throws util::CheckError with the diagnostic.

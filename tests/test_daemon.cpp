@@ -4,18 +4,27 @@
 // end-to-end over in-memory streams.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
+#include <istream>
 #include <mutex>
+#include <ostream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "daemon/daemon.hpp"
 #include "daemon/fair_queue.hpp"
 #include "obs/report.hpp"
 #include "util/check.hpp"
+#include "util/fd_streambuf.hpp"
 
 namespace nat::daemon {
 namespace {
@@ -426,6 +435,138 @@ TEST(Daemon, StatsRecordRoundTrips) {
   const obs::Json* pool = j.find("pool");
   ASSERT_NE(pool, nullptr);
   EXPECT_EQ(pool->find("workers")->as_int(), 1);
+}
+
+// Robust mode (docs/ROBUST.md) threads through DaemonOptions.batch:
+// solve records gain the certified robust_lo/robust_hi sandwich, boxed
+// 5-element job rows parse, and plain mode keeps the old record shape.
+TEST(Daemon, RobustModeEmitsSandwichFields) {
+  Collector out;
+  DaemonOptions options;
+  options.threads = 1;
+  options.batch.robust = true;
+  options.sink = out.sink();
+  Daemon daemon(options);
+  EXPECT_TRUE(daemon.submit_line(
+      R"({"op":"solve","id":"boxed","g":2,)"
+      R"("jobs":[[0,4,2,1,2],[0,4,2],[1,3,1]]})"));
+  EXPECT_TRUE(daemon.submit_line(std::string(R"({"op":"solve","id":"pt",)") +
+                                 kQuickJobs + "}"));
+  daemon.drain();
+
+  ASSERT_EQ(out.parsed().size(), 2u);
+  const obs::Json boxed = out.find_index(0);
+  EXPECT_EQ(field(boxed, "status"), "solved");
+  const obs::Json* lo = boxed.find("robust_lo");
+  const obs::Json* hi = boxed.find("robust_hi");
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  const std::int64_t alg = boxed.find("active_slots")->as_int();
+  EXPECT_LE(lo->as_double(), static_cast<double>(alg) + 1e-9);
+  EXPECT_GE(hi->as_int(), alg);
+
+  // The point request rides the degenerate path: sandwich closed at
+  // the nominal cost.
+  const obs::Json pt = out.find_index(1);
+  EXPECT_EQ(field(pt, "status"), "solved");
+  ASSERT_NE(pt.find("robust_hi"), nullptr);
+  EXPECT_EQ(pt.find("robust_hi")->as_int(),
+            pt.find("active_slots")->as_int());
+
+  // Control: without the flag the record shape is unchanged.
+  Collector plain_out;
+  DaemonOptions plain;
+  plain.threads = 1;
+  plain.sink = plain_out.sink();
+  Daemon plain_daemon(plain);
+  EXPECT_TRUE(plain_daemon.submit_line(
+      std::string(R"({"op":"solve","id":"pt",)") + kQuickJobs + "}"));
+  plain_daemon.drain();
+  ASSERT_EQ(plain_out.parsed().size(), 1u);
+  EXPECT_EQ(plain_out.find_index(0).find("robust_hi"), nullptr);
+}
+
+// Satellite regression: a benign signal (handler installed without
+// SA_RESTART — what supervisors wire up for SIGHUP/SIGUSR1 stats
+// dumps) must not truncate the record stream. serve() runs over
+// FdStreambuf-backed iostreams on a socketpair while SIGUSR1 lands on
+// the serving thread under load; every request must still produce
+// exactly one well-formed record.
+TEST(Daemon, ServeSurvivesBenignSignalsUnderLoad) {
+  int request_fds[2];
+  int record_fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, request_fds), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, record_fds), 0);
+  int sndbuf = 2048;  // force short writes on the record stream
+  ::setsockopt(record_fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf,
+               sizeof(sndbuf));
+
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  const int kRequests = 200;
+  std::atomic<bool> serving{true};
+  std::thread server([&] {
+    util::FdStreambuf in_buf(request_fds[1]);
+    util::FdStreambuf out_buf(record_fds[0]);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    DaemonOptions options;
+    options.threads = 2;
+    Daemon daemon(options);
+    EXPECT_EQ(daemon.serve(in, out), 0);
+    serving.store(false);
+    ::shutdown(record_fds[0], SHUT_WR);
+  });
+  std::thread pinger([&, handle = server.native_handle()] {
+    while (serving.load()) {
+      ::pthread_kill(handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  // Feed requests from a third thread so the reader below can drain
+  // records concurrently (the tiny send buffer would deadlock a
+  // sequential write-then-read).
+  std::thread feeder([&] {
+    util::FdStreambuf req_buf(request_fds[0]);
+    std::ostream req(&req_buf);
+    for (int i = 0; i < kRequests; ++i) {
+      req << R"({"op":"solve","id":"q)" << i << R"(",)" << kQuickJobs
+          << "}\n";
+    }
+    req.flush();
+    EXPECT_TRUE(req.good());
+    ::shutdown(request_fds[0], SHUT_WR);
+  });
+
+  util::FdStreambuf rec_buf(record_fds[1]);
+  std::istream records(&rec_buf);
+  std::string line;
+  int count = 0;
+  int solved = 0;
+  while (std::getline(records, line)) {
+    const obs::Json j = obs::Json::parse(line);  // framing intact
+    if (j.find("status") && j.find("status")->as_string() == "solved") {
+      ++solved;
+    }
+    ++count;
+  }
+  feeder.join();
+  pinger.join();
+  server.join();
+  EXPECT_EQ(count, kRequests);
+  EXPECT_EQ(solved, kRequests);
+
+  ::sigaction(SIGUSR1, &old, nullptr);
+  ::close(request_fds[0]);
+  ::close(request_fds[1]);
+  ::close(record_fds[0]);
+  ::close(record_fds[1]);
 }
 
 }  // namespace

@@ -57,6 +57,40 @@ TEST(SlotFeasibility, DuplicateSlotsAreDeduplicated) {
   EXPECT_TRUE(feasible_with_slots(inst, {1, 2, 2}));
 }
 
+// Satellite regression: the former dense job x slot matrix indexed
+// with `int` products — 5000 jobs over a 500k-slot array puts
+// n*S = 2.5e9 past INT_MAX (and the matrix itself past any sane
+// allocation). The sparse builder stores one edge per *covered* slot,
+// so this instance costs ~510k edges and must answer correctly.
+TEST(SlotFeasibility, WideHorizonManyJobsDoesNotOverflowIndexing) {
+  constexpr Time kHorizon = 500'000;
+  constexpr int kNarrowJobs = 5'000;
+  Instance inst;
+  inst.g = 2;
+  // One spanning job pins the slot array to the full horizon...
+  inst.jobs.push_back(Job{0, kHorizon, 4});
+  // ...and thousands of narrow jobs push n*S far past 32 bits while
+  // total covered slots stays small.
+  for (int j = 0; j < kNarrowJobs; ++j) {
+    const Time lo = (static_cast<Time>(j) * 97) % (kHorizon - 4);
+    inst.jobs.push_back(Job{lo, lo + 4, 1});
+  }
+  inst.validate();
+  std::vector<Time> all;
+  all.reserve(static_cast<std::size_t>(kHorizon));
+  for (Time t = 0; t < kHorizon; ++t) all.push_back(t);
+  EXPECT_TRUE(feasible_with_slots(inst, all));
+
+  // The same network must still see capacity: squeeze every narrow job
+  // into one 4-slot window with g=2 (capacity 8 < 5000 units).
+  Instance tight = inst;
+  for (int j = 1; j <= kNarrowJobs; ++j) {
+    tight.jobs[static_cast<std::size_t>(j)].release = 0;
+    tight.jobs[static_cast<std::size_t>(j)].deadline = 4;
+  }
+  EXPECT_FALSE(feasible_with_slots(tight, all));
+}
+
 TEST(RegionFeasibility, MatchesSlotLevelOnMaterializedSlots) {
   Rng rng(42);
   for (int id = 0; id < 40; ++id) {

@@ -157,6 +157,30 @@ TEST(Dispatch, CrossingRoutesToGeneralBackend) {
   EXPECT_GE(static_cast<double>(res.active_slots), res.lp_value - 1e-6);
 }
 
+// Degenerate laminarity shapes must keep routing to the nested solver:
+// a false-negative is_laminar would silently downgrade them to the
+// 2-approx general backend (still correct, but no longer exact-LP
+// certified), so the backend choice is pinned here.
+TEST(Dispatch, DegenerateLaminarShapesRouteToNested) {
+  // Empty instance.
+  EXPECT_EQ(solve_active_time(Instance{2, {}}).backend, Backend::kNested);
+  // Single job.
+  const Instance single{2, {Job{1, 5, 2}}};
+  EXPECT_TRUE(single.is_laminar());
+  EXPECT_EQ(solve_active_time(single).backend, Backend::kNested);
+  // All windows identical.
+  const Instance same{2, {Job{0, 4, 1}, Job{0, 4, 2}, Job{0, 4, 1}}};
+  EXPECT_TRUE(same.is_laminar());
+  EXPECT_EQ(solve_active_time(same).backend, Backend::kNested);
+  // Touching half-open windows are disjoint, not crossing.
+  const Instance touching{2, {Job{0, 3, 2}, Job{3, 6, 2}}};
+  EXPECT_TRUE(touching.is_laminar());
+  EXPECT_EQ(solve_active_time(touching).backend, Backend::kNested);
+  // Control: an actual crossing pair leaves the nested path.
+  EXPECT_EQ(solve_active_time(testing::crossing()).backend,
+            Backend::kGeneral);
+}
+
 TEST(Dispatch, CancelReachesBothBackends) {
   util::CancelToken token;
   token.cancel();

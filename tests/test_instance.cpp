@@ -53,6 +53,12 @@ TEST(Instance, LaminarDetection) {
   touching.g = 1;
   touching.jobs = {Job{0, 3, 1}, Job{3, 6, 2}};
   EXPECT_TRUE(touching.is_laminar());
+  // Degenerate shapes: empty and single-job instances are laminar.
+  EXPECT_TRUE(Instance{}.is_laminar());
+  Instance single;
+  single.g = 1;
+  single.jobs = {Job{2, 7, 3}};
+  EXPECT_TRUE(single.is_laminar());
 }
 
 TEST(Interval, Relations) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
 
 #include "helpers.hpp"
@@ -121,6 +122,31 @@ TEST(Table, RejectsRaggedRows) {
 TEST(Table, RatioHelper) {
   EXPECT_EQ(Table::ratio(3.0, 2.0), "1.500");
   EXPECT_EQ(Table::ratio(1.0, 0.0), "-");
+}
+
+// Satellite regression: Table::num formatted through an ostringstream
+// that inherited the global locale — a comma-decimal locale turned
+// "1234.5625" into "1.234,5625" and broke every CSV consumer. The
+// formatter now imbues locale::classic explicitly.
+TEST(Table, NumberFormattingIsLocaleIndependent) {
+  struct CommaPunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  const std::string reference = Table::num(1234.5625, 4);
+  const std::string int_reference = Table::num(std::int64_t{1000000});
+
+  const std::locale saved = std::locale();
+  std::locale::global(std::locale(std::locale::classic(), new CommaPunct));
+  const std::string under_locale = Table::num(1234.5625, 4);
+  const std::string int_under_locale = Table::num(std::int64_t{1000000});
+  std::locale::global(saved);
+
+  EXPECT_EQ(under_locale, reference);
+  EXPECT_EQ(under_locale.find(','), std::string::npos);
+  EXPECT_EQ(int_under_locale, int_reference);
+  EXPECT_EQ(int_under_locale, "1000000");
 }
 
 }  // namespace

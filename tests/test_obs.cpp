@@ -3,10 +3,13 @@
 // schema check of a real solver run report.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <fstream>
+#include <locale>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -172,6 +175,60 @@ TEST(Json, NonFiniteDoublesSerializeAsNull) {
   obs::Json j = obs::Json::object();
   j["nan"] = std::nan("");
   EXPECT_EQ(j.dump(), "{\"nan\":null}");
+}
+
+// Satellite regression: JSONL emitters went through ostream <<, which
+// honours the global locale — under de_DE a double prints "2,5" and
+// every downstream parser chokes. dump() now formats via to_chars, so
+// the emitted bytes are identical whatever locale the host process
+// (or an embedding application) has installed.
+TEST(Json, DumpIsLocaleIndependent) {
+  obs::Json j = obs::Json::object();
+  j["lp_value"] = 1234.5625;
+  j["ratio"] = 0.001;
+  j["count"] = std::int64_t{1000000};
+  const std::string reference = j.dump();
+
+  // Prefer the real de_DE locale; fall back to a synthetic comma
+  // numpunct when the host has no locale data installed (minimal
+  // containers usually don't), so the regression is exercised either
+  // way.
+  struct CommaPunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  const std::locale saved = std::locale();
+  const char* c_saved = std::setlocale(LC_ALL, nullptr);
+  const std::string c_saved_name = c_saved ? c_saved : "C";
+  const bool have_de = std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+                       std::setlocale(LC_ALL, "de_DE.utf8") != nullptr;
+  bool cxx_locale_set = false;
+  if (have_de) {
+    try {
+      std::locale::global(std::locale("de_DE.UTF-8"));
+      cxx_locale_set = true;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  if (!cxx_locale_set) {
+    std::locale::global(std::locale(std::locale::classic(), new CommaPunct));
+  }
+
+  const std::string under_locale = j.dump();
+  const obs::Json parsed = obs::Json::parse(under_locale);
+  const double lp = parsed.find("lp_value")->as_double();
+  const double ratio = parsed.find("ratio")->as_double();
+  const std::int64_t count = parsed.find("count")->as_int();
+
+  std::locale::global(saved);
+  std::setlocale(LC_ALL, c_saved_name.c_str());
+
+  EXPECT_EQ(under_locale, reference);
+  EXPECT_NE(under_locale.find("1234.5625"), std::string::npos);
+  EXPECT_DOUBLE_EQ(lp, 1234.5625);
+  EXPECT_DOUBLE_EQ(ratio, 0.001);
+  EXPECT_EQ(count, 1000000);
 }
 
 TEST(Json, ParseRejectsMalformed) {

@@ -258,6 +258,73 @@ TEST(Service, ForcedGeneralSolverTagsRecords) {
   }
 }
 
+// --robust threading through the batch layer (docs/ROBUST.md): boxed
+// cells carry the certified sandwich, point cells ride the degenerate
+// path, and the JSONL record gains robust_lo/robust_hi only in robust
+// mode.
+TEST(Service, RobustBatchEmitsSandwichFields) {
+  std::vector<BatchItem> items;
+  items.push_back(json_item(
+      "boxed",
+      R"({"g": 2, "jobs": [[0, 4, 2, 1, 2], [0, 4, 2], [1, 3, 1, 1, 1]]})"));
+  items.push_back(json_item("point", healthy_cell()));
+  BatchOptions options;
+  options.robust = true;
+  const BatchReport report = solve_batch(items, options);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.solved, 2);
+
+  const CellResult& boxed = report.cells[0];
+  EXPECT_EQ(boxed.status, CellStatus::kSolved);
+  EXPECT_LE(boxed.robust_lo, static_cast<double>(boxed.active_slots) + 1e-9);
+  EXPECT_GE(boxed.robust_hi, boxed.active_slots);
+
+  // The point cell's degenerate path reproduces the plain solver and
+  // closes the sandwich at the nominal cost.
+  const CellResult& point = report.cells[1];
+  EXPECT_EQ(point.status, CellStatus::kSolved);
+  EXPECT_EQ(point.active_slots, 3);  // same cell as the non-robust suites
+  EXPECT_EQ(point.robust_hi, point.active_slots);
+
+  const obs::Json j = obs::Json::parse(cell_to_json(boxed));
+  ASSERT_NE(j.find("robust_lo"), nullptr);
+  ASSERT_NE(j.find("robust_hi"), nullptr);
+  EXPECT_EQ(j.find("robust_hi")->as_int(), boxed.robust_hi);
+
+  // Outside robust mode the record must not change shape.
+  const BatchReport plain = solve_batch(
+      std::vector<BatchItem>{json_item("p", healthy_cell())}, BatchOptions{});
+  const obs::Json pj = obs::Json::parse(cell_to_json(plain.cells[0]));
+  EXPECT_EQ(pj.find("robust_lo"), nullptr);
+  EXPECT_EQ(pj.find("robust_hi"), nullptr);
+}
+
+// Robust mode owns per-corner dispatch, so a forced solver is a
+// structured input error, not a silent downgrade.
+TEST(Service, RobustBatchRequiresAutoSolver) {
+  std::vector<BatchItem> items{json_item("a", healthy_cell())};
+  BatchOptions options;
+  options.robust = true;
+  options.solver = "exact";
+  const BatchReport report = solve_batch(items, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].status, CellStatus::kError);
+  EXPECT_EQ(report.cells[0].failure_class, "input:solver");
+}
+
+// A 5-element job row outside robust mode still parses (the intervals
+// simply ride along), and a malformed interval is an input error.
+TEST(Service, ParseJsonInstanceAcceptsIntervalRows) {
+  const at::Instance inst = parse_json_instance(
+      R"({"g": 2, "jobs": [[0, 4, 2, 1, 3], [1, 3, 1]]})");
+  ASSERT_EQ(inst.num_jobs(), 2);
+  EXPECT_EQ(inst.jobs[0].processing_lo, 1);
+  EXPECT_EQ(inst.jobs[0].processing_hi, 3);
+  EXPECT_FALSE(inst.jobs[1].has_processing_interval());
+  EXPECT_THROW(parse_json_instance(R"({"g": 2, "jobs": [[0, 4, 2, 1]]})"),
+               util::CheckError);
+}
+
 TEST(Service, CellToJsonIsParseableAndEscaped) {
   CellResult cell;
   cell.index = 7;
@@ -457,6 +524,32 @@ TEST(Sessions, ParseDeltaMatchesSessionTypes) {
   EXPECT_THROW(parse_delta(obs::Json::parse(R"({"kind":"add"})")),
                util::CheckError);
   EXPECT_THROW(parse_delta(obs::Json::parse(R"({"kind":"extend","index":0})")),
+               util::CheckError);
+}
+
+// Robust-mode deltas (docs/ROBUST.md): "add" takes 5-element rows with
+// an uncertainty box, and "retime" rewrites (or clears) the box on an
+// existing job.
+TEST(Sessions, ParseDeltaHandlesIntervalsAndRetime) {
+  const at::Delta add = parse_delta(
+      obs::Json::parse(R"({"kind":"add","job":[1,5,2,1,3]})"));
+  ASSERT_TRUE(std::holds_alternative<at::AddJob>(add));
+  EXPECT_EQ(std::get<at::AddJob>(add).job.processing_lo, 1);
+  EXPECT_EQ(std::get<at::AddJob>(add).job.processing_hi, 3);
+
+  const at::Delta retime = parse_delta(
+      obs::Json::parse(R"({"kind":"retime","index":2,"interval":[1,4]})"));
+  ASSERT_TRUE(std::holds_alternative<at::Retime>(retime));
+  EXPECT_EQ(std::get<at::Retime>(retime).job, 2);
+  EXPECT_EQ(std::get<at::Retime>(retime).processing_lo, 1);
+  EXPECT_EQ(std::get<at::Retime>(retime).processing_hi, 4);
+
+  const at::Delta clear = parse_delta(
+      obs::Json::parse(R"({"kind":"retime","index":0,"interval":[0,0]})"));
+  ASSERT_TRUE(std::holds_alternative<at::Retime>(clear));
+  EXPECT_EQ(std::get<at::Retime>(clear).processing_hi, 0);
+
+  EXPECT_THROW(parse_delta(obs::Json::parse(R"({"kind":"retime","index":0})")),
                util::CheckError);
 }
 

@@ -319,6 +319,38 @@ TEST(Session, InfeasibleDeltaRollsBack) {
   expect_matches_scratch(session);
 }
 
+// Robust-mode delta (docs/ROBUST.md): Retime rewrites a job's
+// uncertainty box around the unchanged nominal processing time. The
+// nominal schedule is untouched by construction (solvers only read
+// `processing`), invalid boxes roll back, and lo = hi = 0 clears the
+// box again.
+TEST(Session, RetimeDeltaWidensNarrowsAndClears) {
+  SolverSession session(testing::small_nested());
+  const SessionResult before = session.solve();
+
+  // Widen: nominal p of job 0 is 3; box it to [1, 3].
+  const SessionResult& widened = session.apply(Retime{0, 1, 3});
+  EXPECT_EQ(widened.schedule.assignment, before.schedule.assignment);
+  EXPECT_EQ(widened.active_slots, before.active_slots);
+  EXPECT_TRUE(session.instance().has_processing_intervals());
+
+  // Narrow the same box.
+  session.apply(Retime{0, 2, 3});
+  EXPECT_EQ(session.instance().jobs[0].processing_lo, 2);
+
+  // Invalid boxes roll back: out-of-range index, box missing the
+  // nominal value, hi corner overflowing the window.
+  EXPECT_THROW(session.apply(Retime{99, 1, 3}), util::CheckError);
+  EXPECT_THROW(session.apply(Retime{0, 1, 2}), util::CheckError);   // p=3 > hi
+  EXPECT_THROW(session.apply(Retime{2, 1, 5}), util::CheckError);   // window [2,3)
+  EXPECT_EQ(session.instance().jobs[0].processing_lo, 2);
+
+  // Clear: back to a point instance, bit-identical result.
+  session.apply(Retime{0, 0, 0});
+  EXPECT_FALSE(session.instance().has_processing_intervals());
+  EXPECT_EQ(session.solve().schedule.assignment, before.schedule.assignment);
+}
+
 TEST(Session, NonLaminarDeltaDispatchesToGeneral) {
   Instance instance;
   instance.g = 2;

@@ -3,7 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
+#include <istream>
+#include <limits>
 #include <mutex>
+#include <ostream>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -11,8 +15,13 @@
 #include <type_traits>
 #include <vector>
 
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "util/cancel.hpp"
 #include "util/check.hpp"
+#include "util/fd_streambuf.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -266,6 +275,30 @@ TEST(CancelToken, RemainingMsAndDeadlineAccessor) {
   EXPECT_LE(expired.remaining_ms(), -100);
 }
 
+TEST(CancelToken, HugeTimeoutSaturatesInsteadOfWrapping) {
+  // Regression: `now + milliseconds(INT64_MAX / 2)` overflows the
+  // steady_clock epoch, wrapping the deadline into the distant past and
+  // cancelling every solve instantly. set_timeout_ms must saturate to
+  // time_point::max() instead.
+  CancelToken token;
+  token.set_timeout_ms(std::numeric_limits<std::int64_t>::max() / 2);
+  EXPECT_TRUE(token.deadline_armed());
+  EXPECT_FALSE(token.cancelled());
+  token.check();  // must not throw
+  EXPECT_GT(token.remaining_ms(), 0);
+  EXPECT_EQ(token.deadline(), std::chrono::steady_clock::time_point::max());
+
+  // The whole saturating range behaves the same, down to values that
+  // still fit: a plain hour-long timeout is untouched.
+  CancelToken max_token;
+  max_token.set_timeout_ms(std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(max_token.cancelled());
+  CancelToken hour;
+  hour.set_timeout_ms(3'600'000);
+  EXPECT_NE(hour.deadline(), std::chrono::steady_clock::time_point::max());
+  EXPECT_GT(hour.remaining_ms(), 3'500'000);
+}
+
 TEST(CancelToken, CancelRequestedTellsExplicitCancelFromDeadline) {
   CancelToken expired;
   expired.set_timeout_ms(-1);
@@ -346,6 +379,67 @@ TEST(ThreadPool, StatsStressNeverOverOrUnderCounts) {
   reader.join();
   EXPECT_EQ(violations.load(), 0);
   EXPECT_EQ(ran.load(), 8 * 64);
+}
+
+// Satellite regression (docs/ROBUST.md hardening pass): FdStreambuf
+// must survive EINTR on blocking read/write and drain partial writes.
+// A tiny socket buffer plus a signal storm (handler installed WITHOUT
+// SA_RESTART, as supervisors and the daemon tests do) makes both
+// routine; a single-shot write(2) here would truncate JSONL records.
+TEST(FdStreambuf, RetriesEintrAndDrainsPartialWrites) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  int sndbuf = 2048;  // force short writes on the 4 KiB flush spans
+  ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  const std::string line(509, 'x');  // +'\n' = 510 bytes per record
+  const int kLines = 2000;
+  std::atomic<bool> writing{true};
+  std::thread writer([&] {
+    FdStreambuf buf(sv[0]);
+    std::ostream os(&buf);
+    for (int i = 0; i < kLines; ++i) os << line << '\n';
+    os.flush();
+    writing.store(false);
+    EXPECT_TRUE(os.good());
+    ::shutdown(sv[0], SHUT_WR);
+  });
+  std::thread pinger([&, handle = writer.native_handle()] {
+    while (writing.load()) {
+      ::pthread_kill(handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Drain slowly so the writer blocks (and takes signals) mid-flush;
+  // every byte must arrive, in order, with the framing intact.
+  FdStreambuf rbuf(sv[1]);
+  std::istream is(&rbuf);
+  std::string got;
+  int records = 0;
+  bool framing_ok = true;
+  while (std::getline(is, got)) {
+    ++records;
+    if (got != line) framing_ok = false;
+    if (records % 64 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  pinger.join();
+  writer.join();
+  EXPECT_EQ(records, kLines);
+  EXPECT_TRUE(framing_ok);
+
+  ::sigaction(SIGUSR1, &old, nullptr);
+  ::close(sv[0]);
+  ::close(sv[1]);
 }
 
 TEST(Stopwatch, MeasuresForward) {

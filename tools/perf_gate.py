@@ -69,7 +69,7 @@ SPEEDUP_FLOORS = [
 ]
 
 CELL_ARRAY_KEYS = ("lp_cells", "oracle_cells", "ceiling_cells",
-                   "delta_cells", "general_cells")
+                   "delta_cells", "general_cells", "robust_cells")
 
 # Top-level (document-wide) ratio floors: (file, key, floor). The
 # incremental session engine must beat from-scratch re-solves by at
@@ -93,9 +93,16 @@ DOC_FLOORS = [
 # guarantee (docs/GENERAL.md) — this is a correctness ceiling, checked
 # on any hardware.
 GENERAL_APPROX_BOUND = 2.0
+# The robust pipeline runs a worst-case feasibility flow, a lo-corner
+# LP, and a hi-corner solve on top of the nominal solve, so its wall
+# clock sits near 3x the point solver's (docs/ROBUST.md). A ratio above
+# ROBUST_OVERHEAD_BOUND means an accidental extra solve or a lost warm
+# path; the ratio is hardware-relative, so it is checked on any host.
+ROBUST_OVERHEAD_BOUND = 4.5
 DOC_CEILINGS = [
     ("BENCH_daemon.json", "interactive_p99_ratio", FAIRNESS_BOUND),
     ("BENCH_general.json", "max_ratio_vs_lp", GENERAL_APPROX_BOUND),
+    ("BENCH_robust.json", "overhead_ratio", ROBUST_OVERHEAD_BOUND),
 ]
 
 
